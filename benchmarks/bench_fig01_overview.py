@@ -1,0 +1,40 @@
+"""Figure 1: headline comparison - DaCe AD vs JAX-like gradient time on the
+twelve kernels named in the paper's overview figure.
+
+Paper expectation: DaCe AD wins on most kernels; geo-mean ~4x, dominated by
+huge wins on loop-heavy kernels (trmm, seidel2d) and mild losses on adi/vadv/
+hdiff.  Our jaxlike baseline is an interpreter, so absolute times differ, but
+the ordering (loop-heavy kernels ≫ 1x, vectorised kernels ≈ 1x) should hold.
+"""
+
+import pytest
+
+from _common import gradient_runners, print_comparison, record
+
+FIGURE = "fig01"
+KERNELS = ["adi", "vadv", "hdiff", "jacobi1d", "k2mm", "atax", "lenet", "syr2k",
+           "symm", "conv2d", "trmm", "seidel2d"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig01_dace_ad(benchmark, kernel):
+    spec, dace, _, data = gradient_runners(kernel)
+    result = benchmark.pedantic(lambda: dace(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "dace", benchmark.stats.stats.median)
+    assert result is not None
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig01_jaxlike(benchmark, kernel):
+    spec, _, jax, data = gradient_runners(kernel)
+    if jax is None:
+        pytest.skip("no jaxlike port")
+    result = benchmark.pedantic(lambda: jax(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "jaxlike", benchmark.stats.stats.median)
+    assert result is not None
+
+
+def test_fig01_report(benchmark):
+    benchmark.pedantic(
+        lambda: print_comparison(FIGURE, "Figure 1 - DaCe AD vs JAX-like: gradient runtime overview"),
+        rounds=1, warmup_rounds=0)

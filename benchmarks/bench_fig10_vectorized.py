@@ -1,0 +1,36 @@
+"""Figure 10: vectorised (BLAS-bound) programs.
+
+Paper expectation: both frameworks lower these to optimised library calls, so
+speedups cluster around 1 (paper: average 1.43x, geo-mean 1.26x, DaCe AD wins
+8/12).
+"""
+
+import pytest
+
+from _common import gradient_runners, print_comparison, record
+
+FIGURE = "fig10"
+KERNELS = ["atax", "bicg", "gemm", "gemver", "gesummv", "k2mm", "k3mm", "mvt",
+           "doitgen", "covariance", "softmax", "mlp"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig10_dace_ad(benchmark, kernel):
+    spec, dace, _, data = gradient_runners(kernel)
+    benchmark.pedantic(lambda: dace(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "dace", benchmark.stats.stats.median)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig10_jaxlike(benchmark, kernel):
+    spec, _, jax, data = gradient_runners(kernel)
+    if jax is None:
+        pytest.skip("no jaxlike port")
+    benchmark.pedantic(lambda: jax(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "jaxlike", benchmark.stats.stats.median)
+
+
+def test_fig10_report(benchmark):
+    benchmark.pedantic(
+        lambda: print_comparison(FIGURE, "Figure 10 - vectorised programs (speedups should cluster near 1x)"),
+        rounds=1, warmup_rounds=0)

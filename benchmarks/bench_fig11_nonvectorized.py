@@ -1,0 +1,60 @@
+"""Figure 11: non-vectorised programs - runtime AND forward-pass code size.
+
+Paper expectation: DaCe AD wins by one to three orders of magnitude on
+loop-heavy kernels (per-iteration functional updates and dynamic slicing hurt
+the JAX-style baseline), and the DaCe-AD source is shorter than the JAX port
+for every kernel (no scan/mask rewrites needed).
+"""
+
+import pytest
+
+from _common import gradient_runners, print_comparison, record
+from repro.harness import format_table
+from repro.npbench import get_kernel
+
+FIGURE = "fig11"
+KERNELS = ["jacobi1d", "jacobi2d", "seidel2d", "trmm", "syrk", "syr2k", "symm",
+           "gramschmidt", "cholesky", "lu", "trisolv", "durbin", "fdtd2d",
+           "adi", "vadv", "hdiff"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig11_dace_ad(benchmark, kernel):
+    spec, dace, _, data = gradient_runners(kernel)
+    benchmark.pedantic(lambda: dace(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "dace", benchmark.stats.stats.median)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig11_jaxlike(benchmark, kernel):
+    spec, _, jax, data = gradient_runners(kernel)
+    if jax is None:
+        pytest.skip("no jaxlike port")
+    benchmark.pedantic(lambda: jax(data), rounds=3, warmup_rounds=1)
+    record(FIGURE, kernel, "jaxlike", benchmark.stats.stats.median)
+
+
+def test_fig11_report(benchmark):
+    def report():
+        print_comparison(FIGURE, "Figure 11 (top) - non-vectorised programs: gradient runtime")
+
+        # Code-size comparison (bottom half of Fig. 11): DaCe AD needs the plain
+        # NumPy source; the jaxlike port needs functional rewrites.
+        rows = []
+        for kernel in KERNELS:
+            spec = get_kernel(kernel)
+            dace_loc = spec.forward_loc()
+            jax_loc = spec.jaxlike_loc()
+            ratio = jax_loc / dace_loc if dace_loc else None
+            rows.append([kernel, dace_loc, jax_loc, ratio])
+        print()
+        print(format_table(
+            ["kernel", "DaCe AD LoC", "jaxlike LoC", "ratio"],
+            rows,
+            title="Figure 11 (bottom) - forward-pass program size "
+                  "(ratio > 1: the JAX-style port is longer)",
+        ))
+        longer = [row[0] for row in rows if row[3] is not None and row[3] < 1.0]
+        print(f"kernels where the functional port is not longer: {longer or 'none'}")
+
+    benchmark.pedantic(report, rounds=1, warmup_rounds=0)

@@ -1,0 +1,76 @@
+"""Figure 12: Seidel2d input-size sweep.
+
+Paper expectation: for tiny arrays JAX JIT is faster (its per-iteration
+overhead is negligible and compiled code wins), but the gap grows rapidly with
+N because JAX materialises an [N, N] array per inner iteration while DaCe AD
+performs a single in-place write; at the paper's size (N=400) the difference
+exceeds three orders of magnitude.  The crossover and the growth trend are the
+reproduced "shape"; absolute numbers differ (interpreter baseline).
+"""
+
+import pytest
+
+from repro.autodiff import add_backward_pass
+from repro.codegen import compile_sdfg
+from repro.harness import format_table
+from repro.npbench import get_kernel
+
+SIZES = [8, 16, 24, 32, 48]
+TSTEPS = 5
+_RESULTS: dict[int, dict[str, float]] = {}
+
+spec = get_kernel("seidel2d")
+
+
+def _dace_runner():
+    program = spec.program_for("paper")
+    result = add_backward_pass(program.to_sdfg(), inputs=[spec.wrt])
+    return compile_sdfg(result.sdfg, result_names=[result.gradient_names[spec.wrt]])
+
+
+_DACE = None
+
+
+def _dace():
+    global _DACE
+    if _DACE is None:
+        _DACE = _dace_runner()
+    return _DACE
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig12_dace_ad(benchmark, n):
+    data = spec.initialize(N=n, TSTEPS=TSTEPS)
+    compiled = _dace()
+    benchmark.pedantic(lambda: compiled(**{k: (v.copy() if hasattr(v, "copy") else v)
+                                           for k, v in data.items()}),
+                       rounds=3, warmup_rounds=1)
+    _RESULTS.setdefault(n, {})["dace"] = benchmark.stats.stats.median
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig12_jaxlike(benchmark, n):
+    data = spec.initialize(N=n, TSTEPS=TSTEPS)
+    benchmark.pedantic(lambda: spec.jaxlike_grad(dict(data), spec.wrt), rounds=3,
+                       warmup_rounds=1)
+    _RESULTS.setdefault(n, {})["jaxlike"] = benchmark.stats.stats.median
+
+
+def test_fig12_report(benchmark):
+    def report():
+        rows = []
+        for n in SIZES:
+            entry = _RESULTS.get(n, {})
+            dace = entry.get("dace")
+            jax = entry.get("jaxlike")
+            rows.append([n, dace * 1e3 if dace else None, jax * 1e3 if jax else None,
+                         (jax / dace) if dace and jax else None])
+        print()
+        print(format_table(["N", "DaCe AD [ms]", "jaxlike [ms]", "speedup"], rows,
+                           title=f"Figure 12 - Seidel2d size sweep (TSTEPS={TSTEPS})"))
+        speedups = [row[3] for row in rows if row[3] is not None]
+        if len(speedups) >= 2:
+            print(f"speedup grows with N: {speedups[0]:.2f}x at N={SIZES[0]} -> "
+                  f"{speedups[-1]:.2f}x at N={SIZES[-1]}")
+
+    benchmark.pedantic(report, rounds=1, warmup_rounds=0)

@@ -1,0 +1,71 @@
+"""Section IV-A worked example (Listing 1): cost model and ILP solution.
+
+Paper expectation (for N=3620): the three forwarded arrays have equal sizes,
+recomputation costs in ratio ~1:2:3 and recomputation memory overheads
+0 / S / 2S; under the memory limit the solver stores A1 and A2 and recomputes
+A0; the solve itself takes milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autodiff import add_backward_pass
+from repro.checkpointing import ILPCheckpointing, compute_candidate_costs
+from repro.harness import format_table
+
+N = repro.symbol("N")
+N_VALUE = 3620  # the paper's value; only used for the static model, never allocated
+
+
+@repro.program
+def listing1(C: repro.float64[N, N], D: repro.float64[N, N]):
+    A0 = C + D
+    sin0 = np.sin(A0)
+    D1 = D * 6.0
+    A1 = C + D1
+    sin1 = np.sin(A1)
+    D2 = D1 * 3.0
+    A2 = C + D2
+    sin2 = np.sin(A2)
+    return np.sum(sin0 + sin1 + sin2)
+
+
+def test_listing1_cost_model(benchmark):
+    def build():
+        result = add_backward_pass(listing1.to_sdfg())
+        return result, {
+            c.data: compute_candidate_costs(result.sdfg, c, {"N": N_VALUE})
+            for c in result.storage.candidates.values()
+        }
+
+    result, costs = benchmark(build)
+    rows = [[name, costs[name].store_bytes / 2**20, costs[name].recompute_flops / 1e6,
+             costs[name].recompute_extra_bytes / 2**20]
+            for name in sorted(costs)]
+    print()
+    print(format_table(["array", "S_i [MiB]", "c_i [MFLOP]", "R_i [MiB]"], rows,
+                       title=f"Listing 1 cost model (N={N_VALUE})"))
+    # Paper structure: equal sizes, costs ~1:2:3, overheads 0 < R1 < R2.
+    sizes = [row[1] for row in rows]
+    assert max(sizes) == pytest.approx(min(sizes))
+    flops = {row[0]: row[2] for row in rows}
+    assert flops["A1"] == pytest.approx(2 * flops["A0"], rel=0.05)
+    assert flops["A2"] == pytest.approx(3 * flops["A0"], rel=0.05)
+
+
+def test_listing1_ilp_solution(benchmark):
+    limit_mib = 250.0  # fits two 100-MiB forwarded arrays plus overheads, not three
+
+    def solve():
+        strategy = ILPCheckpointing(memory_limit_mib=limit_mib, symbol_values={"N": N_VALUE})
+        add_backward_pass(listing1.to_sdfg(), strategy=strategy)
+        return strategy.last_report
+
+    report = benchmark(solve)
+    print()
+    print(f"ILP decision under {limit_mib} MiB: {report.decisions_by_data}")
+    print(f"objective (recomputation cost): {report.objective_flops / 1e6:.1f} MFLOP, "
+          f"solve time {report.solve_time_seconds * 1e3:.1f} ms")
+    assert report.decisions_by_data == {"A0": "recompute", "A1": "store", "A2": "store"}
+    assert report.solve_time_seconds < 0.5

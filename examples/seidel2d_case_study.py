@@ -1,0 +1,51 @@
+"""The Seidel2d case study (paper Section V-B), reproduced end to end.
+
+Compares the gradient-computation time of DaCe AD against the jaxlike
+functional baseline while the input grows, showing the crossover the paper
+describes: for tiny arrays the functional baseline is competitive, but its
+per-iteration full-array materialisation makes it fall behind rapidly.
+
+Run with:  python examples/seidel2d_case_study.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.autodiff import add_backward_pass
+from repro.codegen import compile_sdfg
+from repro.npbench import get_kernel
+
+
+def main() -> None:
+    spec = get_kernel("seidel2d")
+    tsteps = 5
+
+    # Compile the DaCe-AD gradient once (symbolic sizes: one compilation serves
+    # every N in the sweep).
+    program = spec.program_for("paper")
+    result = add_backward_pass(program.to_sdfg(), inputs=["A"])
+    gradient = compile_sdfg(result.sdfg, result_names=[result.gradient_names["A"]])
+
+    print(f"{'N':>5s} {'DaCe AD [ms]':>14s} {'jaxlike [ms]':>14s} {'speedup':>9s}")
+    for n in (8, 16, 24, 32, 48):
+        data = spec.initialize(N=n, TSTEPS=tsteps)
+
+        start = time.perf_counter()
+        gradient(A=data["A"].copy(), TSTEPS=tsteps)
+        dace_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        spec.jaxlike_grad(dict(data), "A")
+        jax_time = time.perf_counter() - start
+
+        print(f"{n:5d} {dace_time * 1e3:14.2f} {jax_time * 1e3:14.2f} "
+              f"{jax_time / dace_time:8.1f}x")
+
+    print("\nWhy: each inner iteration of the functional baseline materialises a fresh")
+    print("[N, N] array and performs bounds-checked dynamic slices, while the DaCe-AD")
+    print("backward pass issues a single in-place update per element (Section V-B).")
+
+
+if __name__ == "__main__":
+    main()

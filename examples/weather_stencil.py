@@ -1,0 +1,65 @@
+"""Scientific-computing scenario: sensitivity analysis of a stencil time loop.
+
+A heat-diffusion-style stencil is iterated for a number of time steps; we
+compute the gradient of a quantity of interest (total heat in a target region)
+with respect to the initial condition - the classic adjoint/sensitivity-
+analysis workflow the paper targets (Section I).  The sequential loop is
+reversed compactly; because the update is linear, no tape is needed at all.
+
+Run with:  python examples/weather_stencil.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.autodiff import add_backward_pass
+
+N = repro.symbol("N")
+TSTEPS = repro.symbol("TSTEPS")
+
+
+@repro.program
+def diffuse(field: repro.float64[N, N], TSTEPS: repro.int64):
+    for t in range(TSTEPS):
+        field[1:-1, 1:-1] = field[1:-1, 1:-1] + 0.1 * (
+            field[:-2, 1:-1] + field[2:, 1:-1] + field[1:-1, :-2] + field[1:-1, 2:]
+            - 4.0 * field[1:-1, 1:-1]
+        )
+    # Quantity of interest: the heat that reached the centre region.
+    return np.sum(field[28:36, 28:36])
+
+
+def main() -> None:
+    n, steps = 64, 50
+    rng = np.random.default_rng(1)
+    initial = rng.random((n, n))
+
+    value = diffuse(initial.copy(), TSTEPS=steps)
+    print(f"heat in target region after {steps} steps: {value:.4f}")
+
+    sensitivity_fn = repro.grad(diffuse, wrt="field")
+    start = time.perf_counter()
+    sensitivity = sensitivity_fn(initial.copy(), TSTEPS=steps)
+    elapsed = time.perf_counter() - start
+    print(f"adjoint computed in {elapsed * 1e3:.1f} ms; "
+          f"most influential cell: {np.unravel_index(np.argmax(sensitivity), sensitivity.shape)}")
+
+    # Because the update is linear, the AD engine needs no stored values:
+    result = add_backward_pass(diffuse.to_sdfg(), inputs=["field"])
+    tapes = [name for name in result.sdfg.arrays if name.startswith("__tape")]
+    print(f"tape containers allocated: {len(tapes)} (linear loop bodies need none)")
+
+    # Sanity check against a directional finite difference.
+    eps = 1e-6
+    direction = rng.random((n, n))
+    fd = (diffuse(initial + eps * direction, TSTEPS=steps)
+          - diffuse(initial - eps * direction, TSTEPS=steps)) / (2 * eps)
+    ad = float(np.sum(sensitivity * direction))
+    print(f"directional derivative  AD: {ad:.6f}   FD: {fd:.6f}   "
+          f"match: {abs(ad - fd) < 1e-4 * max(1.0, abs(fd))}")
+
+
+if __name__ == "__main__":
+    main()

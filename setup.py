@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets has no network access and no
+``wheel`` package, so PEP 660 editable installs (which build a wheel) fail.
+Keeping a ``setup.py`` and omitting the ``[build-system]`` table from
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro: a from-scratch reproduction of DaCe AD (CLUSTER 2025).
+
+Public API re-exported here:
+
+* frontend: :func:`program`, :func:`symbol`, dtype annotations
+* IR: :class:`SDFG`
+* code generation: :func:`compile_sdfg`
+"""
+
+from repro.frontend import (
+    Program,
+    boolean,
+    float32,
+    float64,
+    int32,
+    int64,
+    parse_function,
+    program,
+    symbol,
+)
+from repro.ir import SDFG
+from repro.codegen import compile_sdfg
+from repro.autodiff import (
+    GradientFunction,
+    add_backward_pass,
+    grad,
+    value_and_grad,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Program",
+    "program",
+    "parse_function",
+    "symbol",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "boolean",
+    "SDFG",
+    "compile_sdfg",
+    "GradientFunction",
+    "add_backward_pass",
+    "grad",
+    "value_and_grad",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""DaCe AD core: reverse-mode automatic differentiation on SDFGs.
+
+This package implements the paper's contribution:
+
+* **Critical Computation Subgraph (CCS)** extraction by reverse traversal from
+  the dependent variable, propagated across states, loops and branches
+  (:mod:`repro.autodiff.analysis`, paper Section II);
+* per-element **reversal rules** for maps (symbolic tasklet differentiation)
+  and library nodes, with gradient accumulation and gradient clearing on
+  overwrites (:mod:`repro.autodiff.rules`, Fig. 4);
+* **compact loop reversal** without unrolling and runtime-pruned control flow
+  via stored conditionals (:mod:`repro.autodiff.reverse`, Section III, Fig. 3);
+* the **store/recompute machinery** for forwarded values - snapshots, stack
+  tapes inside loops and recomputation chains (:mod:`repro.autodiff.storage`,
+  Section IV), steered by a checkpointing strategy
+  (:mod:`repro.checkpointing`);
+* the user-facing API :func:`grad`, :func:`value_and_grad` and
+  :func:`add_backward_pass` (:mod:`repro.autodiff.api`).
+"""
+
+from repro.autodiff.analysis import ActivityAnalysis, compute_activity
+from repro.autodiff.taxonomy import LoopClass, classify_loop, classify_program_loops
+from repro.autodiff.engine import BackwardPassResult, add_backward_pass
+from repro.autodiff.api import GradientFunction, grad, value_and_grad
+
+__all__ = [
+    "ActivityAnalysis",
+    "compute_activity",
+    "LoopClass",
+    "classify_loop",
+    "classify_program_loops",
+    "BackwardPassResult",
+    "add_backward_pass",
+    "GradientFunction",
+    "grad",
+    "value_and_grad",
+]

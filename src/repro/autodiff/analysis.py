@@ -1,0 +1,161 @@
+"""Critical Computation Subgraph (CCS) extraction.
+
+The CCS is the minimal part of the program through which the independent
+variables contribute to the dependent variable (paper Section II).  We compute
+it with a reverse, flow-sensitive traversal over the control-flow structure:
+
+* the *active set* starts with the dependent variable;
+* walking states backwards, a compute node enters the CCS if it writes active
+  data; its (floating-point) inputs become active;
+* a full, non-accumulating overwrite outside loops kills the activity of the
+  overwritten container for earlier program points (earlier values cannot
+  reach the output through this definition);
+* loop bodies are iterated to a fixed point (the paper's "explore iterations
+  until the starting set of the reverse BFS stabilises", Fig. 6) - inside
+  loops activity is only accumulated, never killed, which is a sound
+  over-approximation;
+* conditional branches are analysed independently and their results unioned,
+  matching the paper's compile-time over-approximation that is pruned at
+  runtime (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir import (
+    ConditionalRegion,
+    ControlFlowRegion,
+    LoopRegion,
+    SDFG,
+    State,
+)
+from repro.ir.nodes import ComputeNode
+from repro.util import OrderedSet
+
+
+@dataclass
+class ActivityAnalysis:
+    """Result of the CCS computation."""
+
+    #: node ids of compute nodes inside the CCS
+    active_nodes: set[int] = field(default_factory=set)
+    #: all containers that carry gradient information at some program point
+    active_data: OrderedSet = field(default_factory=OrderedSet)
+    #: conditionals that guard CCS nodes (their conditions must be available
+    #: in the backward pass)
+    active_conditionals: set[int] = field(default_factory=set)
+    #: loops that contain CCS nodes (these are reversed compactly)
+    active_loops: set[int] = field(default_factory=set)
+
+    def is_active_node(self, node: ComputeNode) -> bool:
+        return node.node_id in self.active_nodes
+
+
+def _carries_gradient(sdfg: SDFG, data: str) -> bool:
+    """Only floating-point containers carry gradients (conditions, counters
+    and index arrays do not)."""
+    return np.issubdtype(sdfg.arrays[data].dtype, np.floating)
+
+
+def compute_activity(sdfg: SDFG, output: str) -> ActivityAnalysis:
+    """Compute the CCS of ``sdfg`` with respect to the dependent variable
+    ``output``."""
+    result = ActivityAnalysis()
+    active: OrderedSet = OrderedSet([output])
+    result.active_data.add(output)
+    _process_region(sdfg, sdfg.root, active, result, inside_loop=False)
+    return result
+
+
+def _process_region(
+    sdfg: SDFG,
+    region: ControlFlowRegion,
+    active: OrderedSet,
+    result: ActivityAnalysis,
+    inside_loop: bool,
+) -> None:
+    for element in reversed(region.elements):
+        if isinstance(element, State):
+            _process_state(sdfg, element, active, result, inside_loop)
+        elif isinstance(element, LoopRegion):
+            _process_loop(sdfg, element, active, result)
+        elif isinstance(element, ConditionalRegion):
+            _process_conditional(sdfg, element, active, result, inside_loop)
+
+
+def _process_loop(
+    sdfg: SDFG,
+    loop: LoopRegion,
+    active: OrderedSet,
+    result: ActivityAnalysis,
+) -> None:
+    # Fixed-point iteration: each pass may activate more data because a later
+    # iteration's reads feed an earlier iteration's writes.  Activity is only
+    # accumulated inside loops, so the iteration terminates.
+    before_nodes = set(result.active_nodes)
+    while True:
+        size_before = (len(active), len(result.active_nodes))
+        _process_region(sdfg, loop.body, active, result, inside_loop=True)
+        if (len(active), len(result.active_nodes)) == size_before:
+            break
+    if result.active_nodes - before_nodes or _loop_touches_active(loop, active):
+        result.active_loops.add(id(loop))
+
+
+def _loop_touches_active(loop: LoopRegion, active: OrderedSet) -> bool:
+    return bool(set(loop.written_data()) & set(active))
+
+
+def _process_conditional(
+    sdfg: SDFG,
+    conditional: ConditionalRegion,
+    active: OrderedSet,
+    result: ActivityAnalysis,
+    inside_loop: bool,
+) -> None:
+    nodes_before = set(result.active_nodes)
+    merged: OrderedSet = OrderedSet()
+    for _, branch in conditional.branches:
+        branch_active = active.copy()
+        _process_region(sdfg, branch, branch_active, result, inside_loop=True)
+        merged.update(branch_active)
+    # The union over branches (plus the incoming set) over-approximates the
+    # runtime CCS; the backward pass prunes it by re-evaluating the stored
+    # condition (paper Fig. 3).
+    active.update(merged)
+    if result.active_nodes - nodes_before:
+        result.active_conditionals.add(id(conditional))
+
+
+def _process_state(
+    sdfg: SDFG,
+    state: State,
+    active: OrderedSet,
+    result: ActivityAnalysis,
+    inside_loop: bool,
+) -> None:
+    for node in reversed(state.nodes):
+        out = node.output.data
+        if out not in active or not _carries_gradient(sdfg, out):
+            continue
+        result.active_nodes.add(node.node_id)
+        result.active_data.add(out)
+        reads = node.read_data()
+        # A full, non-accumulating overwrite kills earlier definitions of the
+        # container - but only outside loops (an earlier iteration's value may
+        # still matter) and only if the node does not read the container it
+        # writes.
+        if (
+            not inside_loop
+            and not node.output.accumulate
+            and node.output.is_full_write(sdfg.arrays[out].shape)
+            and out not in reads
+        ):
+            active.discard(out)
+        for data in sorted(reads):
+            if _carries_gradient(sdfg, data):
+                active.add(data)
+                result.active_data.add(data)

@@ -1,0 +1,12 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.numerical` - central finite differences, used as the
+  ground truth in the test suite.
+* :mod:`repro.baselines.jaxlike` - a functional, immutable-array, trace-based
+  reverse-mode AD engine standing in for JAX JIT (see DESIGN.md for the
+  substitution argument).
+"""
+
+from repro.baselines.numerical import finite_difference_gradient
+
+__all__ = ["finite_difference_gradient"]

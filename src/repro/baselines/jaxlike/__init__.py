@@ -1,0 +1,47 @@
+"""jaxlike: a functional, immutable-array AD baseline standing in for JAX JIT.
+
+The paper compares DaCe AD against JAX with JIT compilation.  JAX itself is
+not available offline, so this package reimplements the *semantics* that the
+paper identifies as the source of JAX's overhead on scientific codes
+(Section V-B):
+
+* arrays are immutable - every ``x.at[idx].set(v)`` / ``.add(v)`` produces a
+  full copy of the array;
+* dynamic slicing (``lax.dynamic_slice`` / ``dynamic_update_slice``) clamps
+  the start indices (bounds checking) and materialises a fresh array;
+* loops are expressed with ``lax.scan`` over a pure body function;
+* reverse-mode AD (``grad`` / ``value_and_grad``) is trace-based and its
+  backward pass again builds full-size arrays for every indexed update.
+
+``jit`` is a no-op wrapper (there is no XLA offline); consequently absolute
+times are *not* comparable to real JAX JIT, but the structural overheads that
+produce the paper's speedups - per-iteration array materialisation, dynamic
+slicing, bounds checks - are faithfully present.  DESIGN.md discusses this
+substitution.
+
+Usage mirrors JAX::
+
+    from repro.baselines import jaxlike as jax
+    from repro.baselines.jaxlike import numpy as jnp
+
+    def loss(x):
+        return jnp.sum(jnp.sin(x))
+
+    g = jax.grad(loss)(x)
+"""
+
+from repro.baselines.jaxlike import lax
+from repro.baselines.jaxlike import numpy_api as numpy
+from repro.baselines.jaxlike.engine import DeviceArray, asarray
+from repro.baselines.jaxlike.ad import grad, value_and_grad
+from repro.baselines.jaxlike.jit import jit
+
+__all__ = [
+    "DeviceArray",
+    "asarray",
+    "numpy",
+    "lax",
+    "grad",
+    "value_and_grad",
+    "jit",
+]

@@ -1,0 +1,102 @@
+"""Reverse-mode AD for the jaxlike baseline: ``grad`` and ``value_and_grad``."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.jaxlike.engine import (
+    DeviceArray,
+    GradientTape,
+    asarray,
+    pop_tape,
+    push_tape,
+)
+
+
+def _backward(tape: GradientTape, output: DeviceArray, seed: np.ndarray) -> None:
+    """Reverse sweep over the tape, accumulating node gradients."""
+    if output._node is None:
+        return
+    output._node.gradient = np.asarray(seed, dtype=np.float64)
+    for node in reversed(tape.nodes):
+        if node.gradient is None:
+            continue
+        for parent, vjp in zip(node.parents, node.vjps):
+            if parent is None or not isinstance(parent, DeviceArray):
+                continue
+            contribution = vjp(node.gradient)
+            if parent._node is not None:
+                if parent._node.gradient is None:
+                    parent._node.gradient = np.zeros(parent.shape, dtype=np.float64)
+                parent._node.gradient = parent._node.gradient + contribution
+            elif parent._requires_grad:
+                if getattr(parent, "_leaf_gradient", None) is None:
+                    parent._leaf_gradient = np.zeros(parent.shape, dtype=np.float64)
+                parent._leaf_gradient = parent._leaf_gradient + contribution
+
+
+class _Leaf(DeviceArray):
+    """A differentiated input: accumulates its own gradient during backward."""
+
+    __slots__ = ("_leaf_gradient",)
+
+    def __init__(self, value) -> None:
+        super().__init__(np.array(value, copy=True))
+        self._requires_grad = True
+        self._leaf_gradient = None
+
+
+def value_and_grad(fun: Callable, argnums: Union[int, Sequence[int]] = 0) -> Callable:
+    """Return a function computing ``(value, gradients)`` of ``fun``.
+
+    ``argnums`` selects which positional arguments are differentiated (an int
+    or a tuple of ints, like JAX).
+    """
+    single = isinstance(argnums, int)
+    argnum_list = [argnums] if single else list(argnums)
+
+    def wrapped(*args, **kwargs):
+        tape = GradientTape()
+        push_tape(tape)
+        try:
+            call_args = list(args)
+            leaves: dict[int, _Leaf] = {}
+            for argnum in argnum_list:
+                leaf = _Leaf(np.asarray(args[argnum], dtype=np.float64)
+                             if not isinstance(args[argnum], DeviceArray)
+                             else args[argnum].value)
+                leaves[argnum] = leaf
+                call_args[argnum] = leaf
+            output = fun(*call_args, **kwargs)
+            output = asarray(output)
+            if output.shape != ():
+                raise ValueError("grad requires a scalar-output function")
+            _backward(tape, output, np.ones(()))
+        finally:
+            pop_tape()
+        gradients = []
+        for argnum in argnum_list:
+            leaf = leaves[argnum]
+            gradient = leaf._leaf_gradient
+            if gradient is None:
+                gradient = np.zeros(leaf.shape, dtype=np.float64)
+            gradients.append(gradient)
+        value = output.value
+        if single:
+            return value, gradients[0]
+        return value, tuple(gradients)
+
+    return wrapped
+
+
+def grad(fun: Callable, argnums: Union[int, Sequence[int]] = 0) -> Callable:
+    """Gradient of a scalar-output function (like ``jax.grad``)."""
+    vag = value_and_grad(fun, argnums)
+
+    def wrapped(*args, **kwargs):
+        _, gradients = vag(*args, **kwargs)
+        return gradients
+
+    return wrapped

@@ -1,0 +1,305 @@
+"""Core of the jaxlike baseline: immutable arrays and the AD tape.
+
+Every operation produces a *new* :class:`DeviceArray` (functional semantics).
+When a gradient tape is active, operations additionally append a node with
+its vector-Jacobian products, so :func:`repro.baselines.jaxlike.ad.grad` can
+run a reverse sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Gradient tape
+# ---------------------------------------------------------------------------
+
+
+class TapeNode:
+    """One primitive application recorded on the tape."""
+
+    __slots__ = ("parents", "vjps", "gradient")
+
+    def __init__(self, parents: list["DeviceArray"], vjps: list[Callable]) -> None:
+        self.parents = parents
+        self.vjps = vjps
+        self.gradient: Optional[np.ndarray] = None
+
+
+class GradientTape:
+    """Records primitives in execution order for the reverse sweep."""
+
+    def __init__(self) -> None:
+        self.nodes: list[TapeNode] = []
+
+    def record(self, parents: list["DeviceArray"], vjps: list[Callable]) -> TapeNode:
+        node = TapeNode(parents, vjps)
+        self.nodes.append(node)
+        return node
+
+
+_TAPE_STACK: list[GradientTape] = []
+
+
+def push_tape(tape: GradientTape) -> None:
+    _TAPE_STACK.append(tape)
+
+
+def pop_tape() -> GradientTape:
+    return _TAPE_STACK.pop()
+
+
+def active_tape() -> Optional[GradientTape]:
+    return _TAPE_STACK[-1] if _TAPE_STACK else None
+
+
+# ---------------------------------------------------------------------------
+# DeviceArray
+# ---------------------------------------------------------------------------
+
+
+def _value_of(operand) -> np.ndarray:
+    if isinstance(operand, DeviceArray):
+        return operand.value
+    return np.asarray(operand)
+
+
+def asarray(value, dtype=None) -> "DeviceArray":
+    if isinstance(value, DeviceArray):
+        return value if dtype is None else DeviceArray(value.value.astype(dtype))
+    return DeviceArray(np.array(value, dtype=dtype, copy=True))
+
+
+def make_result(value: np.ndarray, parents: list, vjps: list[Callable]) -> "DeviceArray":
+    """Wrap a primitive result, recording it on the active tape if any."""
+    result = DeviceArray(value)
+    tape = active_tape()
+    traced_parents = [p for p in parents if isinstance(p, DeviceArray) and p._node is not None]
+    if tape is not None and (traced_parents or any(isinstance(p, DeviceArray) and p._requires_grad
+                                                   for p in parents)):
+        kept_parents = []
+        kept_vjps = []
+        for parent, vjp in zip(parents, vjps):
+            if isinstance(parent, DeviceArray) and (parent._node is not None or parent._requires_grad):
+                kept_parents.append(parent)
+                kept_vjps.append(vjp)
+        node = tape.record(kept_parents, kept_vjps)
+        result._node = node
+    return result
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce a gradient to the shape of the broadcast operand."""
+    gradient = np.asarray(gradient)
+    if gradient.shape == tuple(shape):
+        return gradient
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class _IndexUpdateRef:
+    """``x.at[idx]`` - functional index updates (immutable semantics)."""
+
+    def __init__(self, array: "DeviceArray", index) -> None:
+        self.array = array
+        self.index = index
+
+    def set(self, values) -> "DeviceArray":
+        base = self.array
+        index = self.index
+        new_value = np.array(base.value, copy=True)  # full copy, as in JAX
+        new_value[index] = _value_of(values)
+
+        def vjp_base(gradient):
+            grad_base = np.array(gradient, copy=True)
+            grad_base[index] = 0.0
+            return grad_base
+
+        def vjp_values(gradient):
+            return _unbroadcast(np.asarray(gradient)[index], np.shape(_value_of(values)))
+
+        return make_result(new_value, [base, values if isinstance(values, DeviceArray) else None],
+                           [vjp_base, vjp_values])
+
+    def add(self, values) -> "DeviceArray":
+        base = self.array
+        index = self.index
+        new_value = np.array(base.value, copy=True)
+        np.add.at(new_value, index, _value_of(values))
+
+        def vjp_base(gradient):
+            return np.asarray(gradient)
+
+        def vjp_values(gradient):
+            return _unbroadcast(np.asarray(gradient)[index], np.shape(_value_of(values)))
+
+        return make_result(new_value, [base, values if isinstance(values, DeviceArray) else None],
+                           [vjp_base, vjp_values])
+
+
+class _AtHelper:
+    def __init__(self, array: "DeviceArray") -> None:
+        self.array = array
+
+    def __getitem__(self, index) -> _IndexUpdateRef:
+        return _IndexUpdateRef(self.array, index)
+
+
+class DeviceArray:
+    """Immutable array value (functional semantics, like ``jax.Array``)."""
+
+    __slots__ = ("value", "_node", "_requires_grad")
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value)
+        self.value.setflags(write=False)
+        self._node: Optional[TapeNode] = None
+        self._requires_grad = False
+
+    # -- metadata ------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.value.ndim
+
+    @property
+    def dtype(self):
+        return self.value.dtype
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    @property
+    def T(self) -> "DeviceArray":
+        from repro.baselines.jaxlike import numpy_api as jnp
+
+        return jnp.transpose(self)
+
+    @property
+    def at(self) -> _AtHelper:
+        return _AtHelper(self)
+
+    def astype(self, dtype) -> "DeviceArray":
+        return make_result(self.value.astype(dtype), [self], [lambda g: np.asarray(g)])
+
+    def copy(self) -> "DeviceArray":
+        return make_result(np.array(self.value, copy=True), [self], [lambda g: np.asarray(g)])
+
+    def item(self) -> float:
+        return self.value.item()
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def __repr__(self) -> str:
+        return f"DeviceArray({self.value!r})"
+
+    # -- arithmetic ---------------------------------------------------------------
+    def _binary(self, other, forward, vjp_self, vjp_other) -> "DeviceArray":
+        other_value = _value_of(other)
+        result = forward(self.value, other_value)
+        parents = [self, other if isinstance(other, DeviceArray) else None]
+        return make_result(
+            result,
+            parents,
+            [
+                lambda g: _unbroadcast(vjp_self(np.asarray(g), self.value, other_value), self.shape),
+                lambda g: _unbroadcast(vjp_other(np.asarray(g), self.value, other_value),
+                                       np.shape(other_value)),
+            ],
+        )
+
+    def __add__(self, other):
+        return self._binary(other, np.add, lambda g, a, b: g, lambda g, a, b: g)
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract, lambda g, a, b: g, lambda g, a, b: -g)
+
+    def __rsub__(self, other):
+        return asarray(other).__sub__(self)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply, lambda g, a, b: g * b, lambda g, a, b: g * a)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        return self._binary(other, np.divide, lambda g, a, b: g / b,
+                            lambda g, a, b: -g * a / (b * b))
+
+    def __rtruediv__(self, other):
+        return asarray(other).__truediv__(self)
+
+    def __pow__(self, exponent):
+        return self._binary(
+            exponent, np.power,
+            lambda g, a, b: g * b * np.power(a, b - 1),
+            lambda g, a, b: g * np.power(a, b) * np.log(np.where(a > 0, a, 1.0)),
+        )
+
+    def __neg__(self):
+        return make_result(-self.value, [self], [lambda g: -np.asarray(g)])
+
+    def __matmul__(self, other):
+        from repro.baselines.jaxlike import numpy_api as jnp
+
+        return jnp.matmul(self, other)
+
+    def __rmatmul__(self, other):
+        from repro.baselines.jaxlike import numpy_api as jnp
+
+        return jnp.matmul(asarray(other), self)
+
+    # -- comparisons (no gradient) ----------------------------------------------
+    def __lt__(self, other):
+        return DeviceArray(self.value < _value_of(other))
+
+    def __le__(self, other):
+        return DeviceArray(self.value <= _value_of(other))
+
+    def __gt__(self, other):
+        return DeviceArray(self.value > _value_of(other))
+
+    def __ge__(self, other):
+        return DeviceArray(self.value >= _value_of(other))
+
+    def __eq__(self, other):  # noqa: D105 - array semantics, not identity
+        return DeviceArray(self.value == _value_of(other))
+
+    def __ne__(self, other):
+        return DeviceArray(self.value != _value_of(other))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- indexing (gather; functional) ----------------------------------------------
+    def __getitem__(self, index) -> "DeviceArray":
+        index_value = index.value if isinstance(index, DeviceArray) else index
+        result = np.array(self.value[index_value], copy=True)
+
+        def vjp(gradient):
+            out = np.zeros_like(self.value, dtype=np.result_type(self.value.dtype, np.float64))
+            np.add.at(out, index_value, np.asarray(gradient))
+            return out
+
+        return make_result(result, [self], [vjp])

@@ -1,0 +1,288 @@
+"""``jnp``: the NumPy-like functional API of the jaxlike baseline.
+
+Every function returns a fresh :class:`DeviceArray` and registers its
+vector-Jacobian products with the active gradient tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.jaxlike.engine import (
+    DeviceArray,
+    _unbroadcast,
+    _value_of,
+    asarray,
+    make_result,
+)
+
+float32 = np.float32
+float64 = np.float64
+int32 = np.int32
+int64 = np.int64
+newaxis = None
+pi = np.pi
+
+array = asarray
+
+
+# -- creation -------------------------------------------------------------------
+def zeros(shape, dtype=np.float64) -> DeviceArray:
+    return DeviceArray(np.zeros(shape, dtype=dtype))
+
+
+def ones(shape, dtype=np.float64) -> DeviceArray:
+    return DeviceArray(np.ones(shape, dtype=dtype))
+
+
+def full(shape, value, dtype=np.float64) -> DeviceArray:
+    return DeviceArray(np.full(shape, value, dtype=dtype))
+
+
+def zeros_like(x) -> DeviceArray:
+    return DeviceArray(np.zeros_like(_value_of(x)))
+
+
+def ones_like(x) -> DeviceArray:
+    return DeviceArray(np.ones_like(_value_of(x)))
+
+
+def arange(*args, **kwargs) -> DeviceArray:
+    return DeviceArray(np.arange(*args, **kwargs))
+
+
+def copy(x) -> DeviceArray:
+    x = asarray(x)
+    return x.copy()
+
+
+# -- unary elementwise ---------------------------------------------------------------
+def _unary(x, forward, derivative) -> DeviceArray:
+    x = asarray(x)
+    value = forward(x.value)
+    return make_result(value, [x], [lambda g: np.asarray(g) * derivative(x.value, value)])
+
+
+def sin(x):
+    return _unary(x, np.sin, lambda v, out: np.cos(v))
+
+
+def cos(x):
+    return _unary(x, np.cos, lambda v, out: -np.sin(v))
+
+
+def tan(x):
+    return _unary(x, np.tan, lambda v, out: 1.0 / np.cos(v) ** 2)
+
+
+def exp(x):
+    return _unary(x, np.exp, lambda v, out: out)
+
+
+def log(x):
+    return _unary(x, np.log, lambda v, out: 1.0 / v)
+
+
+def sqrt(x):
+    return _unary(x, np.sqrt, lambda v, out: 0.5 / out)
+
+
+def tanh(x):
+    return _unary(x, np.tanh, lambda v, out: 1.0 - out * out)
+
+
+def abs(x):  # noqa: A001 - mirrors numpy
+    return _unary(x, np.abs, lambda v, out: np.sign(v))
+
+
+fabs = abs
+
+
+def sign(x):
+    return _unary(x, np.sign, lambda v, out: np.zeros_like(v))
+
+
+# -- binary elementwise ---------------------------------------------------------------
+def add(a, b):
+    return asarray(a) + b
+
+
+def subtract(a, b):
+    return asarray(a) - b
+
+
+def multiply(a, b):
+    return asarray(a) * b
+
+
+def divide(a, b):
+    return asarray(a) / b
+
+
+true_divide = divide
+
+
+def power(a, b):
+    return asarray(a) ** b
+
+
+def maximum(a, b) -> DeviceArray:
+    a, bv = asarray(a), _value_of(b)
+    value = np.maximum(a.value, bv)
+    mask = a.value >= bv
+    return make_result(
+        value,
+        [a, b if isinstance(b, DeviceArray) else None],
+        [
+            lambda g: _unbroadcast(np.asarray(g) * mask, a.shape),
+            lambda g: _unbroadcast(np.asarray(g) * (~mask), np.shape(bv)),
+        ],
+    )
+
+
+def minimum(a, b) -> DeviceArray:
+    a, bv = asarray(a), _value_of(b)
+    value = np.minimum(a.value, bv)
+    mask = a.value <= bv
+    return make_result(
+        value,
+        [a, b if isinstance(b, DeviceArray) else None],
+        [
+            lambda g: _unbroadcast(np.asarray(g) * mask, a.shape),
+            lambda g: _unbroadcast(np.asarray(g) * (~mask), np.shape(bv)),
+        ],
+    )
+
+
+def where(condition, a, b) -> DeviceArray:
+    cond = _value_of(condition)
+    av, bv = _value_of(a), _value_of(b)
+    value = np.where(cond, av, bv)
+    return make_result(
+        value,
+        [a if isinstance(a, DeviceArray) else None, b if isinstance(b, DeviceArray) else None],
+        [
+            lambda g: _unbroadcast(np.asarray(g) * cond, np.shape(av)),
+            lambda g: _unbroadcast(np.asarray(g) * (~np.asarray(cond, dtype=bool)), np.shape(bv)),
+        ],
+    )
+
+
+# -- linear algebra ------------------------------------------------------------------
+def matmul(a, b) -> DeviceArray:
+    a, b = asarray(a), asarray(b)
+    value = a.value @ b.value
+
+    def vjp_a(gradient):
+        g = np.asarray(gradient)
+        if a.ndim == 2 and b.ndim == 2:
+            return g @ b.value.T
+        if a.ndim == 2 and b.ndim == 1:
+            return np.outer(g, b.value)
+        if a.ndim == 1 and b.ndim == 2:
+            return b.value @ g
+        return g * b.value
+
+    def vjp_b(gradient):
+        g = np.asarray(gradient)
+        if a.ndim == 2 and b.ndim == 2:
+            return a.value.T @ g
+        if a.ndim == 2 and b.ndim == 1:
+            return a.value.T @ g
+        if a.ndim == 1 and b.ndim == 2:
+            return np.outer(a.value, g)
+        return g * a.value
+
+    return make_result(value, [a, b], [vjp_a, vjp_b])
+
+
+dot = matmul
+
+
+def outer(a, b) -> DeviceArray:
+    a, b = asarray(a), asarray(b)
+    value = np.outer(a.value, b.value)
+    return make_result(
+        value,
+        [a, b],
+        [lambda g: np.asarray(g) @ b.value, lambda g: a.value @ np.asarray(g)],
+    )
+
+
+def transpose(x, axes=None) -> DeviceArray:
+    x = asarray(x)
+    value = np.transpose(x.value, axes)
+
+    def vjp(gradient):
+        if axes is None:
+            return np.transpose(np.asarray(gradient))
+        inverse = np.argsort(axes)
+        return np.transpose(np.asarray(gradient), inverse)
+
+    return make_result(value, [x], [vjp])
+
+
+def reshape(x, shape) -> DeviceArray:
+    x = asarray(x)
+    value = np.reshape(x.value, shape)
+    return make_result(value, [x], [lambda g: np.reshape(np.asarray(g), x.shape)])
+
+
+# -- reductions ---------------------------------------------------------------------
+def sum(x, axis=None, keepdims=False) -> DeviceArray:  # noqa: A001 - mirrors numpy
+    x = asarray(x)
+    value = np.sum(x.value, axis=axis, keepdims=keepdims)
+
+    def vjp(gradient):
+        g = np.asarray(gradient)
+        if axis is None:
+            return np.broadcast_to(g, x.shape).copy()
+        if not keepdims:
+            g = np.expand_dims(g, axis)
+        return np.broadcast_to(g, x.shape).copy()
+
+    return make_result(value, [x], [vjp])
+
+
+def mean(x, axis=None, keepdims=False) -> DeviceArray:
+    x = asarray(x)
+    count = x.size if axis is None else x.shape[axis]
+    return sum(x, axis=axis, keepdims=keepdims) / count
+
+
+def max(x, axis=None, keepdims=False) -> DeviceArray:  # noqa: A001 - mirrors numpy
+    x = asarray(x)
+    value = np.max(x.value, axis=axis, keepdims=keepdims)
+
+    def vjp(gradient):
+        g = np.asarray(gradient)
+        expanded = value if keepdims or axis is None else np.expand_dims(value, axis)
+        grad_exp = g if keepdims or axis is None else np.expand_dims(g, axis)
+        mask = x.value == expanded
+        counts = np.sum(mask, axis=axis, keepdims=True) if axis is not None else np.sum(mask)
+        return mask * grad_exp / counts
+
+    return make_result(value, [x], [vjp])
+
+
+def min(x, axis=None, keepdims=False) -> DeviceArray:  # noqa: A001 - mirrors numpy
+    x = asarray(x)
+    value = np.min(x.value, axis=axis, keepdims=keepdims)
+
+    def vjp(gradient):
+        g = np.asarray(gradient)
+        expanded = value if keepdims or axis is None else np.expand_dims(value, axis)
+        grad_exp = g if keepdims or axis is None else np.expand_dims(g, axis)
+        mask = x.value == expanded
+        counts = np.sum(mask, axis=axis, keepdims=True) if axis is not None else np.sum(mask)
+        return mask * grad_exp / counts
+
+    return make_result(value, [x], [vjp])
+
+
+amax = max
+amin = min
+
+
+def allclose(a, b, rtol=1e-5, atol=1e-8) -> bool:
+    return bool(np.allclose(_value_of(a), _value_of(b), rtol=rtol, atol=atol))

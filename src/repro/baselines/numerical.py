@@ -1,0 +1,50 @@
+"""Finite-difference gradients (ground truth for tests).
+
+Central differences on every element of the selected argument.  Only suitable
+for small inputs; the integration tests use it to validate both the DaCe-AD
+engine and the jaxlike baseline on every NPBench kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def finite_difference_gradient(
+    func: Callable[..., float],
+    args: tuple,
+    wrt: int = 0,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``func`` w.r.t. its ``wrt``-th argument.
+
+    ``func`` must be free of side effects on its arguments (pass copies if it
+    mutates them); it must return a scalar.
+    """
+    base_args = [np.array(a, dtype=np.float64, copy=True) if isinstance(a, np.ndarray) else a
+                 for a in args]
+    target = base_args[wrt]
+    if not isinstance(target, np.ndarray):
+        target = np.asarray(float(target))
+        scalar = True
+    else:
+        scalar = False
+    grad = np.zeros_like(target, dtype=np.float64)
+    iterator = np.ndindex(target.shape) if target.shape else [()]
+    for index in iterator:
+        def evaluate(offset: float) -> float:
+            perturbed = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a
+                         for a in base_args]
+            if scalar:
+                perturbed[wrt] = float(target) + offset
+            else:
+                arr = perturbed[wrt]
+                arr[index] = arr[index] + offset
+            return float(func(*perturbed))
+
+        grad[index] = (evaluate(eps) - evaluate(-eps)) / (2 * eps)
+    if scalar:
+        return grad.reshape(())
+    return grad

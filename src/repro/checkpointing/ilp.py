@@ -1,0 +1,82 @@
+"""The checkpointing ILP.
+
+Decision variables ``v_i in {0, 1}`` (1 = store, 0 = recompute), objective
+
+    minimise   sum_i  c_i * (1 - v_i)
+
+subject to, for every memory measurement ``m_t = base_t + sum_i coeff_ti v_i``,
+
+    base_t + sum_i coeff_ti * v_i  <=  memory_limit
+
+and ``v_i = 1`` forced for candidates that cannot be recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.checkpointing.costs import CandidateCosts
+from repro.checkpointing.memseq import MemoryTerm
+from repro.util.errors import CheckpointingError
+
+
+@dataclass
+class CheckpointILP:
+    """A fully-instantiated checkpointing ILP."""
+
+    keys: list[str]
+    #: recomputation cost c_i (objective weight of choosing v_i = 0)
+    recompute_costs: dict[str, float]
+    #: memory constraints: list of (coeffs per key, upper bound)
+    constraints: list[tuple[dict[str, float], float]]
+    #: keys that must be stored (recomputation impossible)
+    forced_store: set[str] = field(default_factory=set)
+    memory_limit: float = 0.0
+
+    # -- helpers used by the solvers -------------------------------------------
+    def objective(self, decisions: Mapping[str, int]) -> float:
+        """Total recomputation cost of an assignment."""
+        return sum(self.recompute_costs[k] * (1 - decisions.get(k, 1)) for k in self.keys)
+
+    def feasible(self, decisions: Mapping[str, int]) -> bool:
+        for key in self.forced_store:
+            if decisions.get(key, 1) != 1:
+                return False
+        for coeffs, bound in self.constraints:
+            used = sum(coeffs.get(k, 0.0) * decisions.get(k, 1) for k in self.keys)
+            if used > bound + 1e-6:
+                return False
+        return True
+
+
+def build_ilp(
+    candidates_costs: Sequence[CandidateCosts],
+    memory_terms: Sequence[MemoryTerm],
+    memory_limit_bytes: float,
+) -> CheckpointILP:
+    """Assemble the ILP from the cost model and the memory sequence."""
+    keys = [c.key for c in candidates_costs]
+    recompute_costs = {c.key: float(c.recompute_flops) for c in candidates_costs}
+    forced = {c.key for c in candidates_costs if not c.recompute_eligible}
+
+    constraints: list[tuple[dict[str, float], float]] = []
+    for term in memory_terms:
+        bound = memory_limit_bytes - term.base
+        coeffs = {k: v for k, v in term.coeffs.items() if k in set(keys) and v != 0.0}
+        if not coeffs:
+            if bound < -1e-6:
+                raise CheckpointingError(
+                    f"Memory limit of {memory_limit_bytes / 2**20:.1f} MiB cannot be met: "
+                    f"measurement {term.label!r} already needs {term.base / 2**20:.1f} MiB "
+                    "independent of any store/recompute decision"
+                )
+            continue
+        constraints.append((coeffs, bound))
+    return CheckpointILP(
+        keys=keys,
+        recompute_costs=recompute_costs,
+        constraints=constraints,
+        forced_store=forced,
+        memory_limit=memory_limit_bytes,
+    )

@@ -1,0 +1,40 @@
+"""Greedy heuristic solver (ablation baseline).
+
+Starts from store-everything and, while any memory constraint is violated,
+switches the candidate with the lowest recomputation cost per byte freed to
+``recompute``.  Not optimal; the benchmarks use it to quantify the benefit of
+the exact ILP.
+"""
+
+from __future__ import annotations
+
+from repro.checkpointing.ilp import CheckpointILP
+from repro.util.errors import CheckpointingError
+
+
+def solve_greedy(problem: CheckpointILP) -> tuple[dict[str, int], float]:
+    decisions = {key: 1 for key in problem.keys}
+    if problem.feasible(decisions):
+        return decisions, problem.objective(decisions)
+
+    switchable = [key for key in problem.keys if key not in problem.forced_store]
+
+    def bytes_freed(key: str) -> float:
+        # Maximum coefficient of this variable over the violated constraints.
+        freed = 0.0
+        for coeffs, bound in problem.constraints:
+            used = sum(coeffs.get(k, 0.0) * decisions[k] for k in problem.keys)
+            if used > bound and coeffs.get(key, 0.0) > 0:
+                freed = max(freed, coeffs[key])
+        return freed
+
+    while not problem.feasible(decisions):
+        candidates = [k for k in switchable if decisions[k] == 1 and bytes_freed(k) > 0]
+        if not candidates:
+            raise CheckpointingError(
+                "Greedy heuristic could not satisfy the memory limit "
+                "(try the exact solvers or raise the limit)"
+            )
+        candidates.sort(key=lambda k: problem.recompute_costs[k] / bytes_freed(k))
+        decisions[candidates[0]] = 0
+    return decisions, problem.objective(decisions)

@@ -1,0 +1,53 @@
+"""SciPy (HiGHS) MILP backend."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.checkpointing.ilp import CheckpointILP
+from repro.util.errors import CheckpointingError
+
+
+def solve_with_scipy(problem: CheckpointILP) -> tuple[dict[str, int], float]:
+    """Solve the checkpointing ILP with ``scipy.optimize.milp``.
+
+    The objective ``sum c_i (1 - v_i)`` is equivalent to minimising
+    ``-sum c_i v_i`` (up to the constant ``sum c_i``), which is the form
+    handed to the solver.
+    """
+    keys = problem.keys
+    if not keys:
+        return {}, 0.0
+    index = {key: i for i, key in enumerate(keys)}
+    costs = np.array([problem.recompute_costs[key] for key in keys], dtype=float)
+
+    constraints = []
+    if problem.constraints:
+        rows = []
+        bounds = []
+        for coeffs, bound in problem.constraints:
+            row = np.zeros(len(keys))
+            for key, value in coeffs.items():
+                row[index[key]] = value
+            rows.append(row)
+            bounds.append(bound)
+        constraints.append(LinearConstraint(np.array(rows), -np.inf, np.array(bounds)))
+
+    lower = np.zeros(len(keys))
+    for key in problem.forced_store:
+        lower[index[key]] = 1.0
+    variable_bounds = Bounds(lower, np.ones(len(keys)))
+
+    result = milp(
+        c=-costs,
+        constraints=constraints,
+        integrality=np.ones(len(keys)),
+        bounds=variable_bounds,
+    )
+    if not result.success or result.x is None:
+        raise CheckpointingError(
+            f"MILP solver failed: {getattr(result, 'message', 'no feasible solution')}"
+        )
+    decisions = {key: int(round(result.x[index[key]])) for key in keys}
+    return decisions, problem.objective(decisions)

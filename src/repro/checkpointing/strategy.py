@@ -1,0 +1,174 @@
+"""Checkpointing strategies pluggable into the AD engine.
+
+A strategy's ``decide(sdfg, candidates)`` receives the re-materialisation
+candidates discovered by the storage planner and returns, per candidate key,
+``"store"`` or ``"recompute"``.
+
+* :class:`StoreAll` - the store-all default used by most AD frameworks (and by
+  the paper's headline benchmark runs).
+* :class:`RecomputeAll` - recompute every eligible value (maximal memory
+  savings, maximal extra compute).
+* :class:`UserSelection` - explicit per-array choices, reproducing the paper's
+  "user can manually decide to recompute specific arrays".
+* :class:`ILPCheckpointing` - the paper's contribution: automatic decisions
+  under a memory limit via the ILP of Section IV.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.autodiff.storage import RematCandidate
+from repro.checkpointing.costs import CandidateCosts, compute_candidate_costs
+from repro.checkpointing.ilp import CheckpointILP, build_ilp
+from repro.checkpointing.memseq import MemoryTerm, build_memory_sequence, peak_memory
+from repro.checkpointing.solvers import (
+    solve_branch_and_bound,
+    solve_bruteforce,
+    solve_greedy,
+    solve_with_scipy,
+)
+from repro.ir import SDFG
+from repro.util.errors import CheckpointingError
+
+_SOLVERS = {
+    "scipy": solve_with_scipy,
+    "branch_and_bound": solve_branch_and_bound,
+    "bruteforce": solve_bruteforce,
+    "greedy": solve_greedy,
+}
+
+
+class CheckpointingStrategy:
+    """Base class; the default stores every forwarded value."""
+
+    def decide(self, sdfg: SDFG, candidates: Sequence[RematCandidate]) -> dict[str, str]:
+        return {candidate.key: "store" for candidate in candidates}
+
+
+class StoreAll(CheckpointingStrategy):
+    """Store every forwarded value (the default of most AD frameworks)."""
+
+
+class RecomputeAll(CheckpointingStrategy):
+    """Recompute every value that can be recomputed."""
+
+    def decide(self, sdfg, candidates):
+        return {
+            candidate.key: "recompute" if candidate.recompute_eligible else "store"
+            for candidate in candidates
+        }
+
+
+class UserSelection(CheckpointingStrategy):
+    """Explicit user choices by container name (unlisted containers are stored)."""
+
+    def __init__(self, recompute: Sequence[str]) -> None:
+        self.recompute = set(recompute)
+
+    def decide(self, sdfg, candidates):
+        return {
+            candidate.key: "recompute"
+            if candidate.data in self.recompute and candidate.recompute_eligible
+            else "store"
+            for candidate in candidates
+        }
+
+
+@dataclass
+class ILPReport:
+    """Diagnostics of one ILP run (consumed by the benchmarks)."""
+
+    candidate_costs: list[CandidateCosts] = field(default_factory=list)
+    memory_terms: list[MemoryTerm] = field(default_factory=list)
+    decisions: dict[str, int] = field(default_factory=dict)
+    decisions_by_data: dict[str, str] = field(default_factory=dict)
+    objective_flops: float = 0.0
+    modeled_peak_bytes: float = 0.0
+    memory_limit_bytes: float = 0.0
+    solve_time_seconds: float = 0.0
+    solver: str = "scipy"
+    num_variables: int = 0
+
+
+class ILPCheckpointing(CheckpointingStrategy):
+    """Automatic store/recompute selection under a memory limit (Section IV).
+
+    Parameters
+    ----------
+    memory_limit_mib:
+        The user-defined memory constraint in MiB.
+    symbol_values:
+        Concrete values of the SDFG's size symbols (needed to evaluate sizes
+        and FLOP counts statically).
+    solver:
+        One of ``scipy`` (default), ``branch_and_bound``, ``bruteforce``,
+        ``greedy``.
+    include_arguments:
+        Whether caller-provided containers count towards the limit.
+    """
+
+    def __init__(
+        self,
+        memory_limit_mib: float,
+        symbol_values: Optional[Mapping[str, int]] = None,
+        solver: str = "scipy",
+        include_arguments: bool = False,
+    ) -> None:
+        if solver not in _SOLVERS:
+            raise CheckpointingError(f"Unknown ILP solver {solver!r}; options: {sorted(_SOLVERS)}")
+        self.memory_limit_mib = float(memory_limit_mib)
+        self.symbol_values = dict(symbol_values or {})
+        self.solver = solver
+        self.include_arguments = include_arguments
+        self.last_report: Optional[ILPReport] = None
+
+    def decide(self, sdfg: SDFG, candidates: Sequence[RematCandidate]) -> dict[str, str]:
+        if not candidates:
+            return {}
+        symbol_values = dict(self.symbol_values)
+        missing = {
+            sym
+            for candidate in candidates
+            for sym in sdfg.arrays[candidate.data].free_symbols()
+            if sym not in symbol_values
+        }
+        if missing:
+            raise CheckpointingError(
+                f"ILP checkpointing needs concrete values for symbols {sorted(missing)}; "
+                "pass them via symbol_values="
+            )
+
+        costs = [compute_candidate_costs(sdfg, c, symbol_values) for c in candidates]
+        cost_map = {c.key: c for c in costs}
+        terms = build_memory_sequence(
+            sdfg, candidates, cost_map, symbol_values, include_arguments=self.include_arguments
+        )
+        limit_bytes = self.memory_limit_mib * 2**20
+        problem = build_ilp(costs, terms, limit_bytes)
+
+        start = time.perf_counter()
+        decisions, objective = _SOLVERS[self.solver](problem)
+        elapsed = time.perf_counter() - start
+
+        by_data = {}
+        for candidate in candidates:
+            by_data[candidate.data] = "store" if decisions.get(candidate.key, 1) else "recompute"
+        self.last_report = ILPReport(
+            candidate_costs=costs,
+            memory_terms=terms,
+            decisions=decisions,
+            decisions_by_data=by_data,
+            objective_flops=objective,
+            modeled_peak_bytes=peak_memory(terms, decisions),
+            memory_limit_bytes=limit_bytes,
+            solve_time_seconds=elapsed,
+            solver=self.solver,
+            num_variables=len(candidates),
+        )
+        return {
+            candidate.key: "store" if decisions.get(candidate.key, 1) else "recompute"
+            for candidate in candidates
+        }

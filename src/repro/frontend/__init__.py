@@ -1,0 +1,45 @@
+"""Python/NumPy frontend: lowers a restricted Python subset to SDFGs.
+
+The supported program class mirrors the paper (Section III-A): straight-line
+NumPy array expressions, slicing and element indexing, in-place and indexed
+updates, ``if``/``elif``/``else`` branching and arbitrarily nested ``for
+range(...)`` loops over structured index sets (no ``while``, ``break``,
+``continue`` or recursion).  Programs require **no code changes** relative to
+their plain NumPy form - the central usability claim of DaCe AD.
+
+Public API
+----------
+``symbol(name)``
+    Declare a symbolic size parameter.
+``float64[N, M]`` / ``float32[...]`` / ``int64`` / ...
+    Type annotations for program arguments.
+``@program``
+    Decorator that parses the function into an SDFG on first use and compiles
+    it to executable NumPy code.
+"""
+
+from repro.frontend.annotations import (
+    ArraySpec,
+    DTypeSpec,
+    float32,
+    float64,
+    int32,
+    int64,
+    boolean,
+    symbol,
+)
+from repro.frontend.program import Program, program, parse_function
+
+__all__ = [
+    "ArraySpec",
+    "DTypeSpec",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "boolean",
+    "symbol",
+    "Program",
+    "program",
+    "parse_function",
+]

@@ -1,0 +1,64 @@
+"""Type annotations for program arguments.
+
+``repro.float64[N, M]`` produces an :class:`ArraySpec`; a bare dtype spec
+(``repro.float64``) annotates a scalar.  Integer scalars are treated as SDFG
+*symbols* (size parameters usable in shapes and loop bounds), floating-point
+scalars as 0-d data containers that can carry gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.dtypes import as_dtype
+from repro.symbolic import Expr, Sym, as_expr
+
+
+def symbol(name: str) -> Sym:
+    """Declare a symbolic size parameter usable in shapes and loop bounds."""
+    return Sym(name)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Annotation for an N-dimensional array argument."""
+
+    dtype: np.dtype
+    shape: tuple
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+
+class DTypeSpec:
+    """Annotation for scalars that doubles as an array-spec factory.
+
+    ``float64`` is a scalar annotation; ``float64[N, M]`` builds an
+    :class:`ArraySpec` with a symbolic shape.
+    """
+
+    def __init__(self, dtype) -> None:
+        self.dtype = as_dtype(dtype)
+
+    def __getitem__(self, dims) -> ArraySpec:
+        if not isinstance(dims, tuple):
+            dims = (dims,)
+        shape = tuple(dim if isinstance(dim, (int, Expr)) else as_expr(dim) for dim in dims)
+        return ArraySpec(self.dtype, shape)
+
+    @property
+    def is_integer(self) -> bool:
+        return np.issubdtype(self.dtype, np.integer)
+
+    def __repr__(self) -> str:
+        return f"DTypeSpec({self.dtype.name})"
+
+
+float64 = DTypeSpec(np.float64)
+float32 = DTypeSpec(np.float32)
+int64 = DTypeSpec(np.int64)
+int32 = DTypeSpec(np.int32)
+boolean = DTypeSpec(np.bool_)

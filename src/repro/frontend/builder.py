@@ -1,0 +1,271 @@
+"""State builder: turns :class:`ElementwiseValue`s into IR nodes.
+
+The builder owns the SDFG being constructed and the state currently being
+filled.  The expression lowering calls into it to materialise intermediate
+values, emit elementwise maps and emit library nodes (matmul, reductions,
+transposes, ...), mirroring how the DaCe Python frontend decomposes NumPy
+statements into SDFG elements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ir import (
+    Index,
+    LibraryCall,
+    MapCompute,
+    Memlet,
+    Range,
+    SDFG,
+    State,
+    Subset,
+)
+from repro.frontend.values import (
+    ArrayLeaf,
+    ElementwiseValue,
+    broadcast_point,
+    normalize_shape,
+)
+from repro.symbolic import Const, Expr, Sym
+from repro.symbolic.simplify import simplify
+from repro.util.errors import FrontendError
+
+
+class StateBuilder:
+    """Emits IR nodes into the current state of an SDFG under construction."""
+
+    def __init__(self, sdfg: SDFG) -> None:
+        self.sdfg = sdfg
+        self.state: Optional[State] = None
+        self._conn_counter = 0
+        self._map_counter = 0
+
+    # -- bookkeeping -------------------------------------------------------
+    def set_state(self, state: State) -> None:
+        self.state = state
+
+    def fresh_connector(self) -> str:
+        self._conn_counter += 1
+        return f"__in{self._conn_counter}"
+
+    def fresh_map_params(self, count: int) -> list[str]:
+        self._map_counter += 1
+        return [f"__m{self._map_counter}_{dim}" for dim in range(count)]
+
+    def _require_state(self) -> State:
+        if self.state is None:
+            raise FrontendError("No active state to emit into")
+        return self.state
+
+    # -- leaves -------------------------------------------------------------
+    def leaf_for_array(self, name: str) -> ArrayLeaf:
+        """A leaf covering the whole container ``name``."""
+        desc = self.sdfg.arrays[name]
+        region = Subset.full(desc.shape)
+        return ArrayLeaf(
+            data=name,
+            region=region,
+            shape=normalize_shape(desc.shape),
+            dtype=desc.dtype,
+        )
+
+    def value_for_array(self, name: str) -> ElementwiseValue:
+        leaf = self.leaf_for_array(name)
+        conn = self.fresh_connector()
+        return ElementwiseValue(
+            expr=Sym(conn), leaves={conn: leaf}, shape=leaf.shape, dtype=leaf.dtype
+        )
+
+    def value_for_leaf(self, leaf: ArrayLeaf) -> ElementwiseValue:
+        conn = self.fresh_connector()
+        return ElementwiseValue(
+            expr=Sym(conn), leaves={conn: leaf}, shape=leaf.shape, dtype=leaf.dtype
+        )
+
+    # -- materialisation ------------------------------------------------------
+    def materialize(self, value: ElementwiseValue, name_hint: str = "__tmp") -> ArrayLeaf:
+        """Ensure ``value`` lives in a container; returns a leaf covering it.
+
+        Plain references to existing containers/regions are returned as-is;
+        anything else is written to a fresh transient through an elementwise
+        map.
+        """
+        if value.is_plain_leaf():
+            return value.single_leaf()
+        desc = self.sdfg.add_transient(name_hint, value.shape, value.dtype)
+        target = Subset.full(desc.shape)
+        self.emit_elementwise_write(value, desc.name, target, accumulate=False)
+        return self.leaf_for_array(desc.name)
+
+    # -- elementwise maps -------------------------------------------------------
+    def emit_elementwise_write(
+        self,
+        value: ElementwiseValue,
+        target_data: str,
+        target_region: Subset,
+        accumulate: bool = False,
+        label: str = "",
+    ) -> MapCompute:
+        """Emit a MapCompute evaluating ``value`` over ``target_region``.
+
+        The map iterates over the shape of the target region; the value is
+        broadcast against that shape if needed.
+        """
+        state = self._require_state()
+        out_shape = tuple(
+            dim.length_expr() for dim in target_region if isinstance(dim, Range)
+        )
+        out_shape = normalize_shape(out_shape)
+
+        params = self.fresh_map_params(len(out_shape))
+        ranges = [Range(Const(0), dim, Const(1)) for dim in out_shape]
+        point = tuple(Sym(p) for p in params)
+
+        inputs: dict[str, Memlet] = {}
+        for conn, leaf in value.leaves.items():
+            leaf_point = broadcast_point(leaf.shape, out_shape, point)
+            inputs[conn] = Memlet(leaf.data, leaf.element_subset(leaf_point))
+
+        # Output element subset: walk the target region, using the map point
+        # for Range dimensions and the fixed index for Index dimensions.
+        out_dims = []
+        value_dim = 0
+        for dim in target_region:
+            if isinstance(dim, Index):
+                out_dims.append(dim)
+            else:
+                index = simplify(dim.start + dim.step * point[value_dim])
+                out_dims.append(Index(index))
+                value_dim += 1
+        output = Memlet(target_data, Subset(out_dims), accumulate=accumulate)
+
+        node = MapCompute(
+            params=params,
+            ranges=ranges,
+            expr=value.expr,
+            inputs=inputs,
+            output=output,
+            label=label or f"ew_{target_data}",
+        )
+        state.add(node)
+        return node
+
+    # -- library nodes --------------------------------------------------------
+    def _leaf_memlet(self, leaf: ArrayLeaf) -> Memlet:
+        desc = self.sdfg.arrays[leaf.data]
+        if leaf.region.is_full(desc.shape):
+            return Memlet(leaf.data, None)
+        return Memlet(leaf.data, leaf.region)
+
+    def emit_matmul(
+        self,
+        a: ArrayLeaf,
+        b: ArrayLeaf,
+        dest_data: str,
+        dest_region: Optional[Subset] = None,
+        accumulate: bool = False,
+        transpose_a: bool = False,
+        transpose_b: bool = False,
+    ) -> LibraryCall:
+        state = self._require_state()
+        output = Memlet(dest_data, dest_region, accumulate=accumulate)
+        node = LibraryCall(
+            "matmul",
+            inputs={"_a": self._leaf_memlet(a), "_b": self._leaf_memlet(b)},
+            output=output,
+            attrs={"transpose_a": transpose_a, "transpose_b": transpose_b},
+            label=f"matmul_{dest_data}",
+        )
+        state.add(node)
+        return node
+
+    def emit_outer(
+        self,
+        a: ArrayLeaf,
+        b: ArrayLeaf,
+        dest_data: str,
+        dest_region: Optional[Subset] = None,
+        accumulate: bool = False,
+    ) -> LibraryCall:
+        state = self._require_state()
+        node = LibraryCall(
+            "outer",
+            inputs={"_a": self._leaf_memlet(a), "_b": self._leaf_memlet(b)},
+            output=Memlet(dest_data, dest_region, accumulate=accumulate),
+            label=f"outer_{dest_data}",
+        )
+        state.add(node)
+        return node
+
+    def emit_reduce_sum(
+        self,
+        source: ArrayLeaf,
+        dest_data: str,
+        dest_region: Optional[Subset] = None,
+        axis: Optional[int] = None,
+        accumulate: bool = False,
+    ) -> LibraryCall:
+        state = self._require_state()
+        node = LibraryCall(
+            "reduce_sum",
+            inputs={"_in": self._leaf_memlet(source)},
+            output=Memlet(dest_data, dest_region, accumulate=accumulate),
+            attrs={"axis": axis},
+            label=f"sum_{dest_data}",
+        )
+        state.add(node)
+        return node
+
+    def emit_transpose(
+        self,
+        source: ArrayLeaf,
+        dest_data: str,
+        accumulate: bool = False,
+    ) -> LibraryCall:
+        state = self._require_state()
+        node = LibraryCall(
+            "transpose",
+            inputs={"_in": self._leaf_memlet(source)},
+            output=Memlet(dest_data, None, accumulate=accumulate),
+            label=f"transpose_{dest_data}",
+        )
+        state.add(node)
+        return node
+
+    def emit_library(
+        self,
+        kind: str,
+        inputs: dict[str, ArrayLeaf],
+        dest_data: str,
+        dest_region: Optional[Subset] = None,
+        attrs: Optional[dict] = None,
+        accumulate: bool = False,
+        label: str = "",
+    ) -> LibraryCall:
+        """Generic library emission used by the ML frontend (conv2d, pooling...)."""
+        state = self._require_state()
+        node = LibraryCall(
+            kind,
+            inputs={conn: self._leaf_memlet(leaf) for conn, leaf in inputs.items()},
+            output=Memlet(dest_data, dest_region, accumulate=accumulate),
+            attrs=attrs,
+            label=label or f"{kind}_{dest_data}",
+        )
+        state.add(node)
+        return node
+
+    # -- container helpers -------------------------------------------------------
+    def new_transient(self, shape, dtype, name_hint: str = "__tmp", zero_init: bool = False) -> str:
+        desc = self.sdfg.add_transient(name_hint, shape, dtype, zero_init=zero_init)
+        return desc.name
+
+    def fill_constant(self, data: str, value, region: Optional[Subset] = None) -> MapCompute:
+        """Emit a map setting ``data[region] = value`` (used for np.zeros/ones/full)."""
+        desc = self.sdfg.arrays[data]
+        region = region if region is not None else Subset.full(desc.shape)
+        const_value = ElementwiseValue.constant(value, desc.dtype)
+        return self.emit_elementwise_write(const_value, data, region, accumulate=False,
+                                           label=f"fill_{data}")

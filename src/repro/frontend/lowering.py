@@ -1,0 +1,596 @@
+"""Expression lowering: Python AST expressions -> elementwise values + IR nodes.
+
+The lowering walks an expression AST bottom-up.  Elementwise arithmetic stays
+symbolic (accumulated in an :class:`ElementwiseValue`); non-elementwise
+operations (matmul, reductions, transposes, reshapes, array creation) force
+materialisation and emit library nodes through the :class:`StateBuilder`.
+
+Data-dependent indexing (indirection) and unknown functions raise
+:class:`UnsupportedFeatureError`, matching the paper's stated scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+import numpy as np
+
+from repro.frontend.builder import StateBuilder
+from repro.frontend.values import (
+    ArrayLeaf,
+    ElementwiseValue,
+    broadcast_shapes,
+    normalize_shape,
+    promote_dtype,
+)
+from repro.ir.subsets import Index, Range, Subset
+from repro.symbolic import BinOp, Call, Compare, Const, Expr, IfExp, Sym, UnOp
+from repro.symbolic.parser import expr_from_ast
+from repro.symbolic.simplify import simplify
+from repro.util.errors import FrontendError, UnsupportedFeatureError
+
+_AST_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+}
+
+_AST_CMPOPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+#: NumPy calls applied elementwise (unary).
+_ELEMENTWISE_UNARY = {
+    "sin", "cos", "tan", "exp", "log", "sqrt", "tanh", "abs", "fabs", "absolute",
+    "sign", "floor", "ceil", "erf",
+}
+
+#: NumPy calls applied elementwise (binary).
+_ELEMENTWISE_BINARY = {"maximum", "minimum", "fmax", "fmin", "power", "multiply",
+                       "add", "subtract", "divide", "true_divide"}
+
+_BINARY_TO_OP = {
+    "multiply": "*",
+    "add": "+",
+    "subtract": "-",
+    "divide": "/",
+    "true_divide": "/",
+    "power": "**",
+}
+
+_UNARY_ALIAS = {"fabs": "abs", "absolute": "abs"}
+_BINARY_ALIAS = {"fmax": "maximum", "fmin": "minimum"}
+
+_DTYPE_NAMES = {
+    "float64": np.float64,
+    "float32": np.float32,
+    "int64": np.int64,
+    "int32": np.int32,
+    "double": np.float64,
+    "single": np.float32,
+    "bool_": np.bool_,
+}
+
+
+class ExpressionLowering:
+    """Lower expression ASTs for one :class:`~repro.frontend.parser.ProgramParser`."""
+
+    def __init__(self, parser) -> None:
+        self.parser = parser
+        self.builder: StateBuilder = parser.builder
+        self.sdfg = parser.sdfg
+
+    # ------------------------------------------------------------------ api --
+    def lower(self, node: ast.AST) -> ElementwiseValue:
+        """Lower an expression AST into an :class:`ElementwiseValue`."""
+        method = getattr(self, f"_lower_{type(node).__name__}", None)
+        if method is None:
+            raise UnsupportedFeatureError(
+                f"Expression construct {type(node).__name__} is not supported"
+            )
+        return method(node)
+
+    def lower_to_leaf(self, node: ast.AST, name_hint: str = "__tmp") -> ArrayLeaf:
+        """Lower and materialise into a container region."""
+        return self.builder.materialize(self.lower(node), name_hint)
+
+    def scalar_expr(self, node: ast.AST) -> Expr:
+        """Lower an expression that must be a pure scalar symbolic expression
+        (loop bounds, shapes, indices).  Data-dependent values are rejected."""
+        value = self.lower(node)
+        if value.leaves or value.shape:
+            raise UnsupportedFeatureError(
+                "Expected a compile-time scalar expression (symbols, iterators and "
+                "constants); data-dependent values are not allowed here"
+            )
+        return simplify(value.expr)
+
+    # ----------------------------------------------------------------- leaves --
+    def _lower_Constant(self, node: ast.Constant) -> ElementwiseValue:
+        if isinstance(node.value, bool):
+            return ElementwiseValue.constant(node.value, np.bool_)
+        if isinstance(node.value, int):
+            return ElementwiseValue.constant(node.value, np.int64)
+        if isinstance(node.value, float):
+            return ElementwiseValue.constant(node.value, np.float64)
+        raise UnsupportedFeatureError(f"Unsupported constant {node.value!r}")
+
+    def _lower_Name(self, node: ast.Name) -> ElementwiseValue:
+        return self.parser.value_for_name(node.id)
+
+    def _lower_UnaryOp(self, node: ast.UnaryOp) -> ElementwiseValue:
+        operand = self.lower(node.operand)
+        if isinstance(node.op, ast.USub):
+            return ElementwiseValue(
+                expr=UnOp("-", operand.expr),
+                leaves=operand.leaves,
+                shape=operand.shape,
+                dtype=operand.dtype,
+            )
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return ElementwiseValue(
+                expr=UnOp("not", operand.expr),
+                leaves=operand.leaves,
+                shape=operand.shape,
+                dtype=np.dtype(np.bool_),
+            )
+        raise UnsupportedFeatureError(f"Unary operator {type(node.op).__name__} not supported")
+
+    # ----------------------------------------------------------- arithmetic --
+    def _lower_BinOp(self, node: ast.BinOp) -> ElementwiseValue:
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul_value(node.left, node.right)
+        op = _AST_BINOPS.get(type(node.op))
+        if op is None:
+            raise UnsupportedFeatureError(
+                f"Binary operator {type(node.op).__name__} not supported"
+            )
+        left = self.lower(node.left)
+        right = self.lower(node.right)
+        return self._combine_binary(op, left, right)
+
+    def _lower_Compare(self, node: ast.Compare) -> ElementwiseValue:
+        if len(node.ops) != 1:
+            raise UnsupportedFeatureError("Chained comparisons are not supported")
+        op = _AST_CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            raise UnsupportedFeatureError("Comparison operator not supported")
+        left = self.lower(node.left)
+        right = self.lower(node.comparators[0])
+        combined = self._combine_binary(op, left, right, combiner=Compare)
+        combined.dtype = np.dtype(np.bool_)
+        return combined
+
+    def _lower_BoolOp(self, node: ast.BoolOp) -> ElementwiseValue:
+        values = [self.lower(v) for v in node.values]
+        shape = values[0].shape
+        for value in values[1:]:
+            shape = broadcast_shapes(shape, value.shape)
+        leaves: dict[str, ArrayLeaf] = {}
+        for value in values:
+            leaves.update(value.leaves)
+        from repro.symbolic import BoolOp as SymBoolOp
+
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        return ElementwiseValue(
+            expr=SymBoolOp(op, tuple(v.expr for v in values)),
+            leaves=leaves,
+            shape=shape,
+            dtype=np.dtype(np.bool_),
+        )
+
+    def _lower_IfExp(self, node: ast.IfExp) -> ElementwiseValue:
+        cond = self.lower(node.test)
+        then = self.lower(node.body)
+        otherwise = self.lower(node.orelse)
+        return self._combine_where(cond, then, otherwise)
+
+    def _combine_binary(self, op: str, left: ElementwiseValue, right: ElementwiseValue,
+                        combiner=BinOp) -> ElementwiseValue:
+        shape = broadcast_shapes(left.shape, right.shape)
+        leaves = dict(left.leaves)
+        leaves.update(right.leaves)
+        return ElementwiseValue(
+            expr=combiner(op, left.expr, right.expr),
+            leaves=leaves,
+            shape=shape,
+            dtype=promote_dtype(left.dtype, right.dtype),
+        )
+
+    def _combine_where(self, cond, then, otherwise) -> ElementwiseValue:
+        shape = broadcast_shapes(broadcast_shapes(cond.shape, then.shape), otherwise.shape)
+        leaves = dict(cond.leaves)
+        leaves.update(then.leaves)
+        leaves.update(otherwise.leaves)
+        return ElementwiseValue(
+            expr=IfExp(cond.expr, then.expr, otherwise.expr),
+            leaves=leaves,
+            shape=shape,
+            dtype=promote_dtype(then.dtype, otherwise.dtype),
+        )
+
+    # ------------------------------------------------------------- subscripts --
+    def _lower_Subscript(self, node: ast.Subscript) -> ElementwiseValue:
+        base = self.lower(node.value)
+        if not base.is_plain_leaf():
+            leaf = self.builder.materialize(base, "__sub")
+        else:
+            leaf = base.single_leaf()
+        region, shape = self._subscript_region(leaf, node.slice)
+        new_leaf = ArrayLeaf(data=leaf.data, region=region, shape=shape, dtype=leaf.dtype)
+        return self.builder.value_for_leaf(new_leaf)
+
+    def _subscript_region(self, leaf: ArrayLeaf, slice_node: ast.AST) -> tuple[Subset, tuple]:
+        """Compose a subscript with the leaf's existing region."""
+        items = self._slice_items(slice_node)
+        if len(items) > len(leaf.shape):
+            raise FrontendError(
+                f"Too many indices for value of dimensionality {len(leaf.shape)}"
+            )
+        new_dims = []
+        new_shape: list[Expr] = []
+        value_dim = 0
+        for dim in leaf.region:
+            if isinstance(dim, Index):
+                new_dims.append(dim)
+                continue
+            size = dim.length_expr()
+            if value_dim < len(items):
+                item = items[value_dim]
+                if isinstance(item, tuple):  # (lo, hi, st) slice in value coordinates
+                    lo, hi, st = item
+                    lo = self._normalize_index(lo, size)
+                    hi = self._normalize_bound(hi, size)
+                    new_start = simplify(dim.start + dim.step * lo)
+                    new_stop = simplify(dim.start + dim.step * hi)
+                    new_step = simplify(dim.step * st)
+                    new_dims.append(Range(new_start, new_stop, new_step))
+                    new_shape.append(simplify((hi - lo + st - Const(1)) // st))
+                else:  # single index expression in value coordinates
+                    index = self._normalize_index(item, size)
+                    new_dims.append(Index(simplify(dim.start + dim.step * index)))
+            else:
+                new_dims.append(dim)
+                new_shape.append(size)
+            value_dim += 1
+        return Subset(new_dims), normalize_shape(new_shape)
+
+    def _slice_items(self, slice_node: ast.AST) -> list:
+        """Parse a subscript into per-dimension items (Expr or (lo, hi, st))."""
+        if isinstance(slice_node, ast.Tuple):
+            elements = slice_node.elts
+        else:
+            elements = [slice_node]
+        items = []
+        for element in elements:
+            if isinstance(element, ast.Slice):
+                lo = self.scalar_expr(element.lower) if element.lower is not None else None
+                hi = self.scalar_expr(element.upper) if element.upper is not None else None
+                st = self.scalar_expr(element.step) if element.step is not None else Const(1)
+                items.append((lo, hi, st))
+            else:
+                index_value = self.lower(element)
+                if index_value.leaves or index_value.shape:
+                    raise UnsupportedFeatureError(
+                        "Data-dependent indexing (indirection) is outside the supported "
+                        "program class (paper Section III-A)"
+                    )
+                items.append(simplify(index_value.expr))
+        return items
+
+    @staticmethod
+    def _normalize_index(index: Optional[Expr], size: Expr) -> Expr:
+        """Handle ``None`` (slice default 0) and negative constant indices."""
+        if index is None:
+            return Const(0)
+        index = simplify(index)
+        if isinstance(index, Const) and index.value < 0:
+            return simplify(size + index)
+        return index
+
+    @staticmethod
+    def _normalize_bound(bound: Optional[Expr], size: Expr) -> Expr:
+        """Handle ``None`` (slice default = size) and negative constant bounds."""
+        if bound is None:
+            return size
+        bound = simplify(bound)
+        if isinstance(bound, Const) and bound.value < 0:
+            return simplify(size + bound)
+        return bound
+
+    # ------------------------------------------------------------ attributes --
+    def _lower_Attribute(self, node: ast.Attribute) -> ElementwiseValue:
+        if node.attr == "T":
+            leaf = self.lower_to_leaf(node.value, "__t_in")
+            return self._transpose_value(leaf)
+        raise UnsupportedFeatureError(f"Attribute {node.attr!r} is not supported")
+
+    def _transpose_value(self, leaf: ArrayLeaf) -> ElementwiseValue:
+        if len(leaf.shape) != 2:
+            raise UnsupportedFeatureError("Transpose is only supported for 2-D values")
+        dest = self.builder.new_transient((leaf.shape[1], leaf.shape[0]), leaf.dtype, "__t")
+        self.builder.emit_transpose(leaf, dest)
+        return self.builder.value_for_array(dest)
+
+    # ------------------------------------------------------------------ calls --
+    def _lower_Call(self, node: ast.Call) -> ElementwiseValue:
+        func_name, is_method, method_base = self._callee(node)
+
+        if is_method:
+            if func_name == "copy":
+                leaf = self.lower_to_leaf(method_base, "__copy_in")
+                return self._copy_value(leaf)
+            if func_name == "reshape":
+                leaf = self.lower_to_leaf(method_base, "__reshape_in")
+                shape = self._shape_argument(node.args)
+                return self._reshape_value(leaf, shape)
+            if func_name in ("sum", "mean", "max", "min"):
+                return self._reduction(func_name, [method_base], node.keywords)
+            if func_name == "dot":
+                return self._matmul_value(method_base, node.args[0])
+            if func_name == "transpose":
+                leaf = self.lower_to_leaf(method_base, "__t_in")
+                return self._transpose_value(leaf)
+            raise UnsupportedFeatureError(f"Array method {func_name!r} is not supported")
+
+        if func_name in _ELEMENTWISE_UNARY:
+            canonical = _UNARY_ALIAS.get(func_name, func_name)
+            operand = self.lower(node.args[0])
+            dtype = operand.dtype if np.issubdtype(operand.dtype, np.floating) else np.float64
+            return ElementwiseValue(
+                expr=Call(canonical, (operand.expr,)),
+                leaves=operand.leaves,
+                shape=operand.shape,
+                dtype=np.dtype(dtype),
+            )
+        if func_name in _ELEMENTWISE_BINARY:
+            left = self.lower(node.args[0])
+            right = self.lower(node.args[1])
+            if func_name in _BINARY_TO_OP:
+                return self._combine_binary(_BINARY_TO_OP[func_name], left, right)
+            canonical = _BINARY_ALIAS.get(func_name, func_name)
+            shape = broadcast_shapes(left.shape, right.shape)
+            leaves = dict(left.leaves)
+            leaves.update(right.leaves)
+            return ElementwiseValue(
+                expr=Call(canonical, (left.expr, right.expr)),
+                leaves=leaves,
+                shape=shape,
+                dtype=promote_dtype(left.dtype, right.dtype),
+            )
+        if func_name == "where":
+            cond = self.lower(node.args[0])
+            then = self.lower(node.args[1])
+            otherwise = self.lower(node.args[2])
+            return self._combine_where(cond, then, otherwise)
+        if func_name in ("dot", "matmul"):
+            return self._matmul_value(node.args[0], node.args[1])
+        if func_name == "outer":
+            return self._outer_value(node.args[0], node.args[1])
+        if func_name in ("sum", "mean", "max", "min", "amax", "amin"):
+            canonical = {"amax": "max", "amin": "min"}.get(func_name, func_name)
+            return self._reduction(canonical, node.args, node.keywords)
+        if func_name in ("zeros", "ones", "empty", "full"):
+            return self._creation(func_name, node)
+        if func_name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            return self._creation_like(func_name, node)
+        if func_name == "copy":
+            leaf = self.lower_to_leaf(node.args[0], "__copy_in")
+            return self._copy_value(leaf)
+        if func_name == "transpose":
+            leaf = self.lower_to_leaf(node.args[0], "__t_in")
+            return self._transpose_value(leaf)
+        if func_name == "reshape":
+            leaf = self.lower_to_leaf(node.args[0], "__reshape_in")
+            shape = self._shape_argument(node.args[1:])
+            return self._reshape_value(leaf, shape)
+        raise UnsupportedFeatureError(f"Function {func_name!r} is not supported by the frontend")
+
+    def _callee(self, node: ast.Call) -> tuple[str, bool, Optional[ast.AST]]:
+        """Return (function name, is_array_method, method base AST)."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id, False, None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id in self.parser.module_aliases:
+                return func.attr, False, None
+            # np.add.reduce style nested attributes are not supported; treat a
+            # non-module base as an array method receiver.
+            return func.attr, True, func.value
+        raise UnsupportedFeatureError("Unsupported callee expression")
+
+    # -- call helpers --------------------------------------------------------
+    def _matmul_value(self, left_node, right_node, ) -> ElementwiseValue:
+        a = self.lower_to_leaf(left_node, "__mm_a")
+        b = self.lower_to_leaf(right_node, "__mm_b")
+        shape = self._matmul_shape(a.shape, b.shape)
+        dtype = promote_dtype(a.dtype, b.dtype)
+        dest = self.builder.new_transient(shape, dtype, "__mm")
+        self.builder.emit_matmul(a, b, dest)
+        return self.builder.value_for_array(dest)
+
+    @staticmethod
+    def _matmul_shape(a_shape, b_shape) -> tuple:
+        if len(a_shape) == 2 and len(b_shape) == 2:
+            return (a_shape[0], b_shape[1])
+        if len(a_shape) == 2 and len(b_shape) == 1:
+            return (a_shape[0],)
+        if len(a_shape) == 1 and len(b_shape) == 2:
+            return (b_shape[1],)
+        if len(a_shape) == 1 and len(b_shape) == 1:
+            return ()
+        raise FrontendError(f"Unsupported matmul operand ranks {len(a_shape)} and {len(b_shape)}")
+
+    def _outer_value(self, left_node, right_node) -> ElementwiseValue:
+        a = self.lower_to_leaf(left_node, "__outer_a")
+        b = self.lower_to_leaf(right_node, "__outer_b")
+        if len(a.shape) != 1 or len(b.shape) != 1:
+            raise FrontendError("np.outer expects 1-D operands")
+        dtype = promote_dtype(a.dtype, b.dtype)
+        dest = self.builder.new_transient((a.shape[0], b.shape[0]), dtype, "__outer")
+        self.builder.emit_outer(a, b, dest)
+        return self.builder.value_for_array(dest)
+
+    def _reduction(self, func_name: str, args, keywords) -> ElementwiseValue:
+        source = self.builder.materialize(self.lower(args[0]), "__red_in")
+        axis = None
+        keepdims = False
+        for kw in keywords:
+            if kw.arg == "axis":
+                axis = int(self._constant_int(kw.value))
+            elif kw.arg == "keepdims":
+                axis_kw = kw.value
+                keepdims = bool(getattr(axis_kw, "value", False))
+            elif kw.arg is None:
+                raise UnsupportedFeatureError("**kwargs in reductions are not supported")
+        if len(args) > 1:
+            axis = int(self._constant_int(args[1]))
+        if axis is not None and axis < 0:
+            axis += len(source.shape)
+
+        if func_name in ("sum", "mean"):
+            kind = "reduce_sum"
+        elif func_name in ("max", "min"):
+            kind = "reduce_max" if func_name == "max" else "reduce_min"
+        else:  # pragma: no cover - guarded by caller
+            raise UnsupportedFeatureError(f"Reduction {func_name!r} not supported")
+
+        if axis is None:
+            out_shape: tuple = ()
+        else:
+            out_shape = tuple(
+                (Const(1) if keepdims else None) if dim == axis else size
+                for dim, size in enumerate(source.shape)
+            )
+            out_shape = tuple(size for size in out_shape if size is not None)
+        dest = self.builder.new_transient(out_shape, source.dtype, f"__{func_name}")
+        self.builder.emit_library(
+            kind,
+            {"_in": source},
+            dest,
+            attrs={"axis": axis, "keepdims": keepdims},
+        )
+        value = self.builder.value_for_array(dest)
+        if func_name == "mean":
+            count: Expr = Const(1)
+            if axis is None:
+                for size in source.shape:
+                    count = count * size
+            else:
+                count = source.shape[axis]
+            return self._combine_binary("/", value, ElementwiseValue(expr=simplify(count),
+                                                                     shape=(), dtype=np.float64))
+        return value
+
+    def _copy_value(self, leaf: ArrayLeaf) -> ElementwiseValue:
+        dest = self.builder.new_transient(leaf.shape, leaf.dtype, "__copy")
+        source_value = self.builder.value_for_leaf(leaf)
+        self.builder.emit_elementwise_write(
+            source_value, dest, Subset.full(self.sdfg.arrays[dest].shape)
+        )
+        return self.builder.value_for_array(dest)
+
+    def _reshape_value(self, leaf: ArrayLeaf, shape: tuple) -> ElementwiseValue:
+        total_in: Expr = Const(1)
+        for size in leaf.shape:
+            total_in = total_in * size
+        resolved = []
+        unknown_index = None
+        known: Expr = Const(1)
+        for index, size in enumerate(shape):
+            if isinstance(size, Const) and size.value == -1:
+                unknown_index = index
+                resolved.append(None)
+            else:
+                resolved.append(size)
+                known = known * size
+        if unknown_index is not None:
+            resolved[unknown_index] = simplify(total_in // known)
+        dest = self.builder.new_transient(tuple(resolved), leaf.dtype, "__reshape")
+        self.builder.emit_library("flatten", {"_in": leaf}, dest)
+        return self.builder.value_for_array(dest)
+
+    def _creation(self, func_name: str, node: ast.Call) -> ElementwiseValue:
+        shape = self._shape_argument(node.args[:1]) if node.args else ()
+        dtype = self._dtype_keyword(node.keywords) or self.parser.default_dtype
+        name = self.builder.new_transient(shape, dtype, f"__{func_name}")
+        if func_name == "zeros":
+            self.builder.fill_constant(name, 0)
+        elif func_name == "ones":
+            self.builder.fill_constant(name, 1)
+        elif func_name == "full":
+            fill = self.lower(node.args[1])
+            if fill.leaves or fill.shape:
+                raise UnsupportedFeatureError("np.full fill value must be a scalar constant")
+            self.builder.fill_constant(name, 0)  # allocate deterministically
+            value = ElementwiseValue(expr=fill.expr, shape=(), dtype=np.dtype(dtype))
+            self.builder.emit_elementwise_write(
+                value, name, Subset.full(self.sdfg.arrays[name].shape)
+            )
+        # np.empty: no initialisation
+        return self.builder.value_for_array(name)
+
+    def _creation_like(self, func_name: str, node: ast.Call) -> ElementwiseValue:
+        template = self.builder.materialize(self.lower(node.args[0]), "__like_in")
+        dtype = self._dtype_keyword(node.keywords) or template.dtype
+        name = self.builder.new_transient(template.shape, dtype, f"__{func_name}")
+        if func_name == "zeros_like":
+            self.builder.fill_constant(name, 0)
+        elif func_name == "ones_like":
+            self.builder.fill_constant(name, 1)
+        elif func_name == "full_like":
+            fill = self.lower(node.args[1])
+            value = ElementwiseValue(expr=fill.expr, shape=(), dtype=np.dtype(dtype))
+            self.builder.emit_elementwise_write(
+                value, name, Subset.full(self.sdfg.arrays[name].shape)
+            )
+        return self.builder.value_for_array(name)
+
+    def _shape_argument(self, args) -> tuple:
+        """Parse a shape argument: a tuple/list literal or scalar expressions."""
+        if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+            elements = args[0].elts
+        else:
+            elements = list(args)
+        shape = []
+        for element in elements:
+            expr = self.scalar_expr(element)
+            shape.append(expr)
+        return tuple(shape)
+
+    def _dtype_keyword(self, keywords):
+        for kw in keywords:
+            if kw.arg == "dtype":
+                return self._parse_dtype(kw.value)
+        return None
+
+    def _parse_dtype(self, node: ast.AST):
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value
+        else:
+            raise UnsupportedFeatureError("Unsupported dtype expression")
+        if name in _DTYPE_NAMES:
+            return np.dtype(_DTYPE_NAMES[name])
+        raise UnsupportedFeatureError(f"Unsupported dtype {name!r}")
+
+    def _constant_int(self, node: ast.AST) -> int:
+        expr = self.scalar_expr(node)
+        if not isinstance(expr, Const):
+            raise UnsupportedFeatureError("Expected an integer literal")
+        return int(expr.value)

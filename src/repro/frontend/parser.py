@@ -1,0 +1,368 @@
+"""Statement-level parsing: Python function AST -> SDFG.
+
+One SDFG state is created per statement (matching the paper's granularity of
+"states as steps of execution"); ``for range`` loops become
+:class:`~repro.ir.control_flow.LoopRegion`s and ``if``/``else`` becomes
+:class:`~repro.ir.control_flow.ConditionalRegion`s.  Unsupported constructs
+(``while``, ``break``, ``continue``, nested functions, recursion) raise
+:class:`UnsupportedFeatureError` with a pointer to the paper's taxonomy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+import numpy as np
+
+from repro.frontend.annotations import ArraySpec, DTypeSpec
+from repro.frontend.builder import StateBuilder
+from repro.frontend.lowering import ExpressionLowering
+from repro.frontend.values import ElementwiseValue, normalize_shape
+from repro.ir import SDFG, ConditionalRegion, LoopRegion, State, Subset
+from repro.symbolic import Const, Expr, Sym, UnOp
+from repro.symbolic.simplify import simplify
+from repro.util.errors import FrontendError, UnsupportedFeatureError
+
+#: Module names whose attributes are treated as NumPy intrinsics.
+DEFAULT_MODULE_ALIASES = frozenset({"np", "numpy", "math"})
+
+RETURN_NAME = "__return"
+
+
+class ProgramParser:
+    """Parses one annotated Python function into an SDFG."""
+
+    def __init__(
+        self,
+        name: str,
+        arg_specs: dict[str, object],
+        module_aliases=DEFAULT_MODULE_ALIASES,
+    ) -> None:
+        self.sdfg = SDFG(name)
+        self.builder = StateBuilder(self.sdfg)
+        self.lowering = ExpressionLowering(self)
+        self.module_aliases = set(module_aliases)
+        self.region_stack: list = [self.sdfg.root]
+        self.iterator_stack: list[str] = []
+        self.return_name: Optional[str] = None
+        self.default_dtype = np.dtype(np.float64)
+        self._register_arguments(arg_specs)
+
+    # ------------------------------------------------------------ arguments --
+    def _register_arguments(self, arg_specs: dict[str, object]) -> None:
+        float32_seen = False
+        for name, spec in arg_specs.items():
+            if isinstance(spec, ArraySpec):
+                for dim in spec.shape:
+                    if isinstance(dim, Expr):
+                        for sym in sorted(dim.free_symbols()):
+                            self.sdfg.add_symbol(sym)
+                self.sdfg.add_array(name, spec.shape, spec.dtype)
+                self.sdfg.arg_names.append(name)
+                if spec.dtype == np.float32:
+                    float32_seen = True
+            elif isinstance(spec, DTypeSpec):
+                if spec.is_integer:
+                    self.sdfg.add_symbol(name, spec.dtype)
+                else:
+                    self.sdfg.add_scalar(name, spec.dtype)
+                self.sdfg.arg_names.append(name)
+            else:
+                raise FrontendError(
+                    f"Argument {name!r} needs a repro type annotation "
+                    f"(e.g. repro.float64[N, N] or repro.int64); got {spec!r}"
+                )
+        if float32_seen:
+            self.default_dtype = np.dtype(np.float32)
+
+    # ---------------------------------------------------------------- naming --
+    @property
+    def current_region(self):
+        return self.region_stack[-1]
+
+    def new_state(self, label: str) -> State:
+        state = self.current_region.add_state(self.sdfg.make_name(label))
+        self.builder.set_state(state)
+        return state
+
+    def value_for_name(self, name: str) -> ElementwiseValue:
+        """Resolve a bare name inside an expression."""
+        if name in self.iterator_stack:
+            return ElementwiseValue.from_symbol(name, np.int64)
+        if name in self.sdfg.symbols:
+            return ElementwiseValue.from_symbol(name, self.sdfg.symbols[name])
+        if name in self.sdfg.arrays:
+            return self.builder.value_for_array(name)
+        if name in self.module_aliases:
+            raise FrontendError(f"Module {name!r} used as a value")
+        raise FrontendError(f"Undefined name {name!r}")
+
+    # ------------------------------------------------------------------ parse --
+    def parse_function(self, func_ast: ast.FunctionDef) -> SDFG:
+        self.visit_body(func_ast.body)
+        self.sdfg.validate()
+        return self.sdfg
+
+    def visit_body(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            self.visit_statement(statement)
+
+    def visit_statement(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._visit_augassign(node)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                fake = ast.Assign(targets=[node.target], value=node.value)
+                ast.copy_location(fake, node)
+                self._visit_assign(fake)
+        elif isinstance(node, ast.For):
+            self._visit_for(node)
+        elif isinstance(node, ast.If):
+            self._visit_if(node)
+        elif isinstance(node, ast.Return):
+            self._visit_return(node)
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):
+                return  # docstring
+            raise UnsupportedFeatureError("Expression statements with side effects are not supported")
+        elif isinstance(node, ast.Pass):
+            return
+        elif isinstance(node, ast.While):
+            raise UnsupportedFeatureError(
+                "while loops have an unstructured iteration space and are outside "
+                "the supported class (paper Fig. 5)"
+            )
+        elif isinstance(node, (ast.Break, ast.Continue)):
+            raise UnsupportedFeatureError(
+                "break/continue are outside the supported loop class (paper Fig. 5)"
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise UnsupportedFeatureError("Nested function definitions are not supported")
+        else:
+            raise UnsupportedFeatureError(f"Statement {type(node).__name__} is not supported")
+
+    # ------------------------------------------------------------ assignments --
+    def _visit_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise UnsupportedFeatureError("Chained assignment (a = b = expr) is not supported")
+        target = node.targets[0]
+        if isinstance(target, ast.Tuple):
+            if not isinstance(node.value, ast.Tuple) or len(node.value.elts) != len(target.elts):
+                raise UnsupportedFeatureError(
+                    "Tuple assignment requires a matching tuple of expressions"
+                )
+            for sub_target, sub_value in zip(target.elts, node.value.elts):
+                fake = ast.Assign(targets=[sub_target], value=sub_value)
+                ast.copy_location(fake, node)
+                self._visit_assign(fake)
+            return
+        if isinstance(target, ast.Name):
+            self._assign_to_name(target.id, node.value)
+        elif isinstance(target, ast.Subscript):
+            self._assign_to_subscript(target, node.value, accumulate=False)
+        else:
+            raise UnsupportedFeatureError("Unsupported assignment target")
+
+    def _assign_to_name(self, name: str, value_node: ast.AST) -> None:
+        if name in self.sdfg.symbols or name in self.iterator_stack:
+            raise UnsupportedFeatureError(f"Cannot assign to symbol/iterator {name!r}")
+        self.new_state(f"assign_{name}")
+        value = self.lowering.lower(value_node)
+        if name not in self.sdfg.arrays:
+            dtype = value.dtype
+            if not value.leaves and not value.shape and np.issubdtype(dtype, np.integer):
+                # Plain integer scalars still become 0-d containers: keeps all
+                # values differentiable-by-name and avoids a separate binding
+                # environment.  They cannot be used as shapes or loop bounds.
+                dtype = np.dtype(np.int64)
+            self.sdfg.add_array(name, value.shape, dtype, transient=True)
+        desc = self.sdfg.arrays[name]
+        self.builder.emit_elementwise_write(
+            value, name, Subset.full(desc.shape), accumulate=False, label=f"write_{name}"
+        )
+
+    def _assign_to_subscript(self, target: ast.Subscript, value_node: ast.AST,
+                             accumulate: bool, negate: bool = False) -> None:
+        if not isinstance(target.value, ast.Name):
+            raise UnsupportedFeatureError("Only direct array subscripts can be assigned to")
+        name = target.value.id
+        if name not in self.sdfg.arrays:
+            raise FrontendError(f"Assignment to undefined array {name!r}")
+        self.new_state(f"update_{name}")
+        base_leaf = self.builder.leaf_for_array(name)
+        region, _ = self.lowering._subscript_region(base_leaf, target.slice)
+        value = self.lowering.lower(value_node)
+        if negate:
+            value = ElementwiseValue(
+                expr=UnOp("-", value.expr), leaves=value.leaves, shape=value.shape,
+                dtype=value.dtype,
+            )
+        self.builder.emit_elementwise_write(
+            value, name, region, accumulate=accumulate, label=f"write_{name}"
+        )
+
+    def _visit_augassign(self, node: ast.AugAssign) -> None:
+        op_type = type(node.op)
+        if isinstance(node.target, ast.Name):
+            name = node.target.id
+            if name not in self.sdfg.arrays:
+                raise FrontendError(f"Augmented assignment to undefined name {name!r}")
+            if op_type in (ast.Add, ast.Sub):
+                self.new_state(f"acc_{name}")
+                value = self.lowering.lower(node.value)
+                if op_type is ast.Sub:
+                    value = ElementwiseValue(
+                        expr=UnOp("-", value.expr), leaves=value.leaves,
+                        shape=value.shape, dtype=value.dtype,
+                    )
+                desc = self.sdfg.arrays[name]
+                self.builder.emit_elementwise_write(
+                    value, name, Subset.full(desc.shape), accumulate=True, label=f"acc_{name}"
+                )
+            elif op_type in (ast.Mult, ast.Div):
+                # A *= x  ->  A = A * x  (read-modify-write full overwrite)
+                binop = ast.BinOp(
+                    left=ast.Name(id=name, ctx=ast.Load()),
+                    op=ast.Mult() if op_type is ast.Mult else ast.Div(),
+                    right=node.value,
+                )
+                ast.copy_location(binop, node)
+                ast.fix_missing_locations(binop)
+                self._assign_to_name(name, binop)
+            else:
+                raise UnsupportedFeatureError(
+                    f"Augmented operator {op_type.__name__} is not supported"
+                )
+        elif isinstance(node.target, ast.Subscript):
+            if op_type is ast.Add:
+                self._assign_to_subscript(node.target, node.value, accumulate=True)
+            elif op_type is ast.Sub:
+                self._assign_to_subscript(node.target, node.value, accumulate=True, negate=True)
+            elif op_type in (ast.Mult, ast.Div):
+                read = ast.Subscript(
+                    value=node.target.value, slice=node.target.slice, ctx=ast.Load()
+                )
+                binop = ast.BinOp(
+                    left=read,
+                    op=ast.Mult() if op_type is ast.Mult else ast.Div(),
+                    right=node.value,
+                )
+                ast.copy_location(binop, node)
+                ast.fix_missing_locations(binop)
+                self._assign_to_subscript(node.target, binop, accumulate=False)
+            else:
+                raise UnsupportedFeatureError(
+                    f"Augmented operator {op_type.__name__} is not supported"
+                )
+        else:
+            raise UnsupportedFeatureError("Unsupported augmented assignment target")
+
+    # ----------------------------------------------------------------- loops --
+    def _visit_for(self, node: ast.For) -> None:
+        if node.orelse:
+            raise UnsupportedFeatureError("for/else is not supported")
+        if not isinstance(node.target, ast.Name):
+            raise UnsupportedFeatureError("Loop target must be a plain name")
+        if not (isinstance(node.iter, ast.Call) and self._is_range_call(node.iter)):
+            raise UnsupportedFeatureError(
+                "Only `for <name> in range(...)` loops over structured index sets are "
+                "supported (paper Section III-A)"
+            )
+        args = node.iter.args
+        if len(args) == 1:
+            start, stop, step = Const(0), self.lowering.scalar_expr(args[0]), Const(1)
+        elif len(args) == 2:
+            start = self.lowering.scalar_expr(args[0])
+            stop = self.lowering.scalar_expr(args[1])
+            step = Const(1)
+        elif len(args) == 3:
+            start = self.lowering.scalar_expr(args[0])
+            stop = self.lowering.scalar_expr(args[1])
+            step = self.lowering.scalar_expr(args[2])
+        else:
+            raise UnsupportedFeatureError("range() with more than three arguments")
+
+        itervar = node.target.id
+        if itervar in self.sdfg.arrays:
+            raise UnsupportedFeatureError(
+                f"Loop iterator {itervar!r} collides with a data container"
+            )
+        loop = LoopRegion(itervar, start, stop, step,
+                          label=self.sdfg.make_name(f"loop_{itervar}"))
+        self.current_region.add(loop)
+        self.region_stack.append(loop.body)
+        self.iterator_stack.append(itervar)
+        try:
+            self.visit_body(node.body)
+        finally:
+            self.iterator_stack.pop()
+            self.region_stack.pop()
+            self.builder.set_state(None)
+
+    def _is_range_call(self, call: ast.Call) -> bool:
+        return isinstance(call.func, ast.Name) and call.func.id == "range"
+
+    # ------------------------------------------------------------------ branches --
+    def _visit_if(self, node: ast.If) -> None:
+        condition = self._lower_condition(node.test)
+        conditional = ConditionalRegion(label=self.sdfg.make_name("if"))
+        self.current_region.add(conditional)
+
+        then_region = conditional.add_branch(condition)
+        self.region_stack.append(then_region)
+        try:
+            self.visit_body(node.body)
+        finally:
+            self.region_stack.pop()
+            self.builder.set_state(None)
+
+        if node.orelse:
+            else_region = conditional.add_branch(None)
+            self.region_stack.append(else_region)
+            try:
+                self.visit_body(node.orelse)
+            finally:
+                self.region_stack.pop()
+                self.builder.set_state(None)
+
+    def _lower_condition(self, test: ast.AST) -> Expr:
+        """Lower a branch condition.
+
+        Pure symbolic conditions (over iterators/symbols) stay symbolic; data
+        dependent conditions are evaluated into a 0-d container right before
+        the conditional so the backward pass can reuse the stored value
+        (paper Fig. 3: "conditionals are evaluated and stored").
+        """
+        self.new_state("cond_eval")
+        value = self.lowering.lower(test)
+        if value.shape:
+            raise UnsupportedFeatureError("Branch conditions must be scalar")
+        if not value.leaves:
+            # No data involved: drop the empty state again and keep it symbolic.
+            if self.builder.state is not None and self.builder.state.is_empty():
+                self.current_region.elements.remove(self.builder.state)
+                self.builder.set_state(None)
+            return simplify(value.expr)
+        cond_name = self.builder.new_transient((), np.bool_, "__cond")
+        self.builder.emit_elementwise_write(
+            value, cond_name, Subset(()), accumulate=False, label=f"eval_{cond_name}"
+        )
+        return Sym(cond_name)
+
+    # ------------------------------------------------------------------ return --
+    def _visit_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        self.new_state("return")
+        value = self.lowering.lower(node.value)
+        if self.return_name is None:
+            self.sdfg.add_array(RETURN_NAME, value.shape, value.dtype, transient=True)
+            self.return_name = RETURN_NAME
+        desc = self.sdfg.arrays[self.return_name]
+        self.builder.emit_elementwise_write(
+            value, self.return_name, Subset.full(desc.shape), accumulate=False,
+            label="write_return",
+        )

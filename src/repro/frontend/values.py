@@ -1,0 +1,210 @@
+"""Intermediate values used while lowering expressions.
+
+An :class:`ElementwiseValue` represents a (possibly partially lowered)
+expression that is *elementwise* over some output shape: a symbolic scalar
+expression over "connector" placeholders, each of which refers to a region of
+a data container (an :class:`ArrayLeaf`).  Non-elementwise operations
+(matmul, reductions, convolutions) force materialisation of their operands
+into containers and start a fresh elementwise value around the result.
+
+This module also contains the shape algebra (broadcasting) and the derivation
+of per-element memlet subsets from region subsets, which is where array
+slices become direct, statically-analysable accesses - the property the paper
+credits for DaCe AD's speed over dynamic slicing (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ir.subsets import Index, Range, Subset
+from repro.symbolic import Const, Expr, Sym, as_expr
+from repro.symbolic.simplify import simplify
+from repro.util.errors import FrontendError
+
+
+@dataclass
+class ArrayLeaf:
+    """A reference to a rectangular region of one data container.
+
+    ``region`` has one entry per *container* dimension (Index = the dimension
+    is fixed to one element and does not contribute to the value's shape,
+    Range = the dimension is iterated).  ``shape`` is the value shape, i.e.
+    the lengths of the Range dimensions in order.
+    """
+
+    data: str
+    region: Subset
+    shape: tuple[Expr, ...]
+    dtype: np.dtype
+
+    def element_subset(self, point: tuple[Expr, ...]) -> Subset:
+        """Subset of one element of the region, given per-value-dim indices.
+
+        ``point`` must have one entry per value dimension (``len(shape)``).
+        Range dimensions are mapped to ``start + step * point[d]``; Index
+        dimensions stay fixed.
+        """
+        if len(point) != len(self.shape):
+            raise FrontendError(
+                f"element_subset expected {len(self.shape)} indices, got {len(point)}"
+            )
+        dims = []
+        value_dim = 0
+        for dim in self.region:
+            if isinstance(dim, Index):
+                dims.append(dim)
+            else:
+                index = simplify(dim.start + dim.step * point[value_dim])
+                dims.append(Index(index))
+                value_dim += 1
+        return Subset(dims)
+
+
+@dataclass
+class ElementwiseValue:
+    """An elementwise expression over connector placeholders.
+
+    Attributes
+    ----------
+    expr:
+        Symbolic scalar expression.  Free symbols are either connector names
+        (keys of ``leaves``), enclosing loop iterators or SDFG symbols.
+    leaves:
+        Mapping connector name -> :class:`ArrayLeaf`.
+    shape:
+        Value shape (tuple of symbolic dimension sizes; ``()`` is a scalar).
+    dtype:
+        Element dtype of the value.
+    """
+
+    expr: Expr
+    leaves: dict[str, ArrayLeaf] = field(default_factory=dict)
+    shape: tuple[Expr, ...] = ()
+    dtype: np.dtype = np.dtype(np.float64)
+
+    @classmethod
+    def constant(cls, value, dtype=np.float64) -> "ElementwiseValue":
+        return cls(expr=Const(value), shape=(), dtype=np.dtype(dtype))
+
+    @classmethod
+    def from_symbol(cls, name: str, dtype=np.int64) -> "ElementwiseValue":
+        return cls(expr=Sym(name), shape=(), dtype=np.dtype(dtype))
+
+    @property
+    def is_scalar(self) -> bool:
+        return len(self.shape) == 0
+
+    def is_plain_leaf(self) -> bool:
+        """True if this value is exactly one untouched leaf reference."""
+        return (
+            len(self.leaves) == 1
+            and isinstance(self.expr, Sym)
+            and self.expr.name in self.leaves
+        )
+
+    def single_leaf(self) -> ArrayLeaf:
+        if not self.is_plain_leaf():
+            raise FrontendError("Value is not a plain array reference")
+        return self.leaves[self.expr.name]
+
+
+# ---------------------------------------------------------------------------
+# Shape algebra
+# ---------------------------------------------------------------------------
+
+
+def normalize_shape(shape) -> tuple[Expr, ...]:
+    """Coerce every dimension to a simplified symbolic expression."""
+    return tuple(simplify(as_expr(dim)) for dim in shape)
+
+
+def _dims_equal(a: Expr, b: Expr) -> bool:
+    return simplify(a) == simplify(b)
+
+
+def _is_one(dim: Expr) -> bool:
+    return simplify(dim) == Const(1)
+
+
+def broadcast_shapes(a: tuple[Expr, ...], b: tuple[Expr, ...]) -> tuple[Expr, ...]:
+    """NumPy-style broadcasting of two symbolic shapes.
+
+    When two corresponding dimensions cannot be proven equal, the program is
+    assumed well-formed and the first (non-1) dimension is used; genuinely
+    incompatible constant dimensions raise :class:`FrontendError`.
+    """
+    a, b = normalize_shape(a), normalize_shape(b)
+    out: list[Expr] = []
+    for dim_a, dim_b in zip(reversed(_pad(a, len(b))), reversed(_pad(b, len(a)))):
+        if dim_a is None:
+            out.append(dim_b)
+        elif dim_b is None:
+            out.append(dim_a)
+        elif _is_one(dim_a):
+            out.append(dim_b)
+        elif _is_one(dim_b):
+            out.append(dim_a)
+        else:
+            if (
+                isinstance(simplify(dim_a), Const)
+                and isinstance(simplify(dim_b), Const)
+                and simplify(dim_a) != simplify(dim_b)
+            ):
+                raise FrontendError(f"Cannot broadcast shapes {a} and {b}")
+            out.append(dim_a)
+    return tuple(reversed(out))
+
+
+def _pad(shape: tuple, length: int) -> list:
+    """Left-pad a shape with ``None`` markers to at least ``length`` entries."""
+    if len(shape) >= length:
+        return list(shape)
+    return [None] * (length - len(shape)) + list(shape)
+
+
+def broadcast_point(
+    leaf_shape: tuple[Expr, ...], out_shape: tuple[Expr, ...], point: tuple[Expr, ...]
+) -> tuple[Expr, ...]:
+    """Map output-space indices to leaf-space indices under broadcasting.
+
+    ``point`` has one index per output dimension; the result has one index per
+    leaf value dimension (trailing-aligned; broadcast dimensions map to 0).
+    """
+    leaf_shape = normalize_shape(leaf_shape)
+    out_shape = normalize_shape(out_shape)
+    offset = len(out_shape) - len(leaf_shape)
+    result: list[Expr] = []
+    for leaf_dim, size in enumerate(leaf_shape):
+        out_dim = leaf_dim + offset
+        if out_dim < 0:
+            raise FrontendError("Leaf has more dimensions than the output value")
+        if _is_one(size) and not _dims_equal(size, out_shape[out_dim]):
+            result.append(Const(0))
+        else:
+            result.append(point[out_dim])
+    return tuple(result)
+
+
+def promote_dtype(*dtypes) -> np.dtype:
+    """Result dtype of combining values (simplified NumPy promotion)."""
+    dtypes = [np.dtype(d) for d in dtypes if d is not None]
+    if not dtypes:
+        return np.dtype(np.float64)
+    if any(d == np.float64 for d in dtypes):
+        return np.dtype(np.float64)
+    if any(d == np.float32 for d in dtypes):
+        # float32 only survives if nothing requires float64
+        if all(d in (np.dtype(np.float32), np.dtype(np.int32), np.dtype(np.int64), np.dtype(np.bool_)) for d in dtypes):
+            return np.dtype(np.float32)
+        return np.dtype(np.float64)
+    if any(np.issubdtype(d, np.floating) for d in dtypes):
+        return np.dtype(np.float64)
+    if any(d == np.int64 for d in dtypes):
+        return np.dtype(np.int64)
+    if any(d == np.int32 for d in dtypes):
+        return np.dtype(np.int32)
+    return dtypes[0]

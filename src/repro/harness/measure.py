@@ -1,0 +1,64 @@
+"""Timing with warmup, repetitions and confidence intervals."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass
+class Measurement:
+    """Repeated-measurement summary for one benchmark configuration."""
+
+    label: str
+    times: list[float] = field(default_factory=list)
+    value: Any = None
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.times))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.times))
+
+    def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Normal-approximation confidence interval of the mean."""
+        if len(self.times) < 2:
+            return (self.mean, self.mean)
+        z = 1.96 if confidence >= 0.95 else 1.645
+        half_width = z * self.std / np.sqrt(len(self.times))
+        return (self.mean - half_width, self.mean + half_width)
+
+    def __repr__(self) -> str:
+        low, high = self.confidence_interval()
+        return (f"Measurement({self.label!r}, median={self.median * 1e3:.2f} ms, "
+                f"CI=[{low * 1e3:.2f}, {high * 1e3:.2f}] ms, n={len(self.times)})")
+
+
+def measure(
+    fn: Callable[[], Any],
+    label: str = "",
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Measurement:
+    """Measure ``fn`` with ``warmup`` unmeasured calls and ``repeats`` timed calls.
+
+    The warmup call absorbs parsing/compilation, mirroring how the paper
+    excludes compilation overhead for both frameworks.
+    """
+    result = Measurement(label=label)
+    for _ in range(max(0, warmup)):
+        result.value = fn()
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result.value = fn()
+        result.times.append(time.perf_counter() - start)
+    return result

@@ -1,0 +1,95 @@
+"""Reference numbers and qualitative data from the paper.
+
+Used by the benchmarks to print paper-vs-measured comparisons, and by the
+Table I benchmark to regenerate the qualitative feature matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: DaCe AD speedups over JAX JIT reported in Fig. 1 (CPU, NPBench paper sizes).
+PAPER_FIGURE1_SPEEDUPS: dict[str, float] = {
+    "adi": 0.11,
+    "vadv": 0.41,
+    "hdiff": 0.64,
+    "jacobi1d": 1.21,
+    "k2mm": 1.3,
+    "atax": 1.21,
+    "lenet": 1.3,
+    "syr2k": 7.68,
+    "symm": 8.54,
+    "conv2d": 3.28,
+    "trmm": 227.09,
+    "seidel2d": 2724.96,
+}
+
+#: Aggregate numbers from the evaluation section.
+PAPER_AGGREGATES = {
+    "all": {"average": 92.0, "geomean": 4.1, "count": 38},
+    "vectorized": {"average": 1.43, "geomean": 1.26, "count": 12},
+    "nonvectorized": {"average": 134.0, "geomean": 7.1, "count": 26},
+}
+
+#: Fig. 14: DaCe AD on CPU vs JAX JIT on a V100, reported speedups.
+PAPER_FIGURE14_SPEEDUPS = {
+    "jacobi2d": 1.89,
+    "syr2k": 2.12,
+    "symm": 2.55,
+    "syrk": 7.19,
+    "gramschmidt": 10.56,
+    "conv2d": 11.2,
+    "deriche": 11.68,
+    "trmm": 275.85,
+    "seidel2d": 275.85,
+}
+
+#: Table I: qualitative comparison of AD tools (paper's criteria).
+#: Values: "yes", "partial", "no".
+PAPER_TABLE1: dict[str, dict[str, str]] = {
+    "JAX": {
+        "supports ML targets": "yes",
+        "supports scientific targets": "partial",
+        "performance on ML": "yes",
+        "performance on scientific codes": "no",
+        "minimal code changes": "no",
+        "automatic checkpointing": "no",
+    },
+    "PyTorch": {
+        "supports ML targets": "yes",
+        "supports scientific targets": "no",
+        "performance on ML": "yes",
+        "performance on scientific codes": "no",
+        "minimal code changes": "no",
+        "automatic checkpointing": "no",
+    },
+    "Enzyme": {
+        "supports ML targets": "partial",
+        "supports scientific targets": "yes",
+        "performance on ML": "partial",
+        "performance on scientific codes": "yes",
+        "minimal code changes": "yes",
+        "automatic checkpointing": "partial",
+    },
+    "Zygote": {
+        "supports ML targets": "yes",
+        "supports scientific targets": "partial",
+        "performance on ML": "yes",
+        "performance on scientific codes": "partial",
+        "minimal code changes": "no",
+        "automatic checkpointing": "partial",
+    },
+    "DaCe AD (this work)": {
+        "supports ML targets": "yes",
+        "supports scientific targets": "yes",
+        "performance on ML": "yes",
+        "performance on scientific codes": "yes",
+        "minimal code changes": "yes",
+        "automatic checkpointing": "yes",
+    },
+}
+
+
+def paper_expectation(kernel_name: str) -> Optional[float]:
+    """The paper-reported CPU speedup for a kernel, if available."""
+    return PAPER_FIGURE1_SPEEDUPS.get(kernel_name)

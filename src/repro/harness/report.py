@@ -1,0 +1,67 @@
+"""Result aggregation and text/CSV reporting."""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Iterable, Optional, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v is not None and v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_summary(results) -> dict:
+    """Average and geometric-mean speedup over a list of KernelRunResults,
+    mirroring how the paper reports both numbers."""
+    speedups = [r.speedup for r in results if r.speedup is not None]
+    return {
+        "count": len(speedups),
+        "average": sum(speedups) / len(speedups) if speedups else float("nan"),
+        "geomean": geometric_mean(speedups),
+        "wins": sum(1 for s in speedups if s > 1.0),
+    }
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table (the benchmark scripts print these; EXPERIMENTS.md
+    embeds them)."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Persist results so figures can be regenerated without rerunning."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)

@@ -1,0 +1,96 @@
+"""Kernel runners: build gradient callables for both engines and compare them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autodiff import add_backward_pass
+from repro.codegen import compile_sdfg
+from repro.harness.measure import Measurement, measure
+from repro.npbench.registry import KernelSpec
+
+
+def _copy_data(data: dict) -> dict:
+    return {k: (np.array(v, copy=True) if isinstance(v, np.ndarray) else v)
+            for k, v in data.items()}
+
+
+def dace_gradient_runner(spec: KernelSpec, preset: str = "S",
+                         strategy=None) -> Callable[[dict], np.ndarray]:
+    """Compile the DaCe-AD gradient of a kernel once; the returned callable
+    computes the gradient for one data dictionary."""
+    program = spec.program_for(preset)
+    result = add_backward_pass(program.to_sdfg(), inputs=[spec.wrt], strategy=strategy)
+    compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names[spec.wrt]])
+
+    def run(data: dict):
+        return compiled(**_copy_data(data))
+
+    run.compiled = compiled  # type: ignore[attr-defined]
+    run.backward_result = result  # type: ignore[attr-defined]
+    return run
+
+
+def jaxlike_gradient_runner(spec: KernelSpec) -> Optional[Callable[[dict], np.ndarray]]:
+    """Gradient runner for the jaxlike baseline (None if the kernel has no port)."""
+    if spec.jaxlike_grad is None:
+        return None
+
+    def run(data: dict):
+        _, gradient = spec.jaxlike_grad(_copy_data(data), spec.wrt)
+        return gradient
+
+    return run
+
+
+@dataclass
+class KernelRunResult:
+    """Timings of one kernel under both engines."""
+
+    name: str
+    category: str
+    dace: Measurement
+    jaxlike: Optional[Measurement]
+    paper_speedup: Optional[float] = None
+    dace_loc: int = 0
+    jaxlike_loc: int = 0
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """jaxlike time / DaCe-AD time (>1 means DaCe AD is faster)."""
+        if self.jaxlike is None:
+            return None
+        return self.jaxlike.median / self.dace.median
+
+
+def run_kernel_comparison(
+    spec: KernelSpec,
+    preset: str = "S",
+    repeats: int = 3,
+    warmup: int = 1,
+    strategy=None,
+) -> KernelRunResult:
+    """Time the gradient computation of one kernel under both engines."""
+    data = spec.data(preset)
+    dace_run = dace_gradient_runner(spec, preset, strategy=strategy)
+    dace_measurement = measure(lambda: dace_run(data), label=f"{spec.name}/dace",
+                               repeats=repeats, warmup=warmup)
+
+    jax_run = jaxlike_gradient_runner(spec)
+    jax_measurement = None
+    if jax_run is not None:
+        jax_measurement = measure(lambda: jax_run(data), label=f"{spec.name}/jaxlike",
+                                  repeats=repeats, warmup=warmup)
+
+    return KernelRunResult(
+        name=spec.name,
+        category=spec.category,
+        dace=dace_measurement,
+        jaxlike=jax_measurement,
+        paper_speedup=spec.paper_speedup,
+        dace_loc=spec.forward_loc(),
+        jaxlike_loc=spec.jaxlike_loc(),
+    )

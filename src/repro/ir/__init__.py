@@ -1,0 +1,60 @@
+"""SDFG-like data-centric intermediate representation.
+
+This package reimplements the subset of DaCe's Stateful DataFlow multiGraph
+(SDFG) needed by the paper:
+
+* **data descriptors** (:mod:`repro.ir.arrays`): arrays/scalars with symbolic
+  shapes, dtypes and transient flags;
+* **subsets and memlets** (:mod:`repro.ir.subsets`, :mod:`repro.ir.memlet`):
+  the data-movement annotations that make tracking dataflow (the key AD
+  challenge highlighted by the paper) explicit;
+* **dataflow nodes** (:mod:`repro.ir.nodes`): access nodes, fused
+  Map+Tasklet compute nodes and library nodes (matmul, reductions, NN ops);
+* **states and control flow** (:mod:`repro.ir.state`,
+  :mod:`repro.ir.control_flow`): states holding dataflow graphs, sequential
+  loop regions and conditional regions;
+* the :class:`repro.ir.sdfg.SDFG` container plus validation, DOT export and
+  JSON serialisation.
+"""
+
+from repro.ir.arrays import ArrayDesc
+from repro.ir.dtypes import as_dtype, dtype_to_str, float32, float64, int32, int64, boolean
+from repro.ir.subsets import Index, Range, Subset
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import AccessNode, ComputeNode, LibraryCall, MapCompute, Node
+from repro.ir.state import State
+from repro.ir.control_flow import (
+    ConditionalRegion,
+    ControlFlowRegion,
+    ControlFlowElement,
+    LoopRegion,
+)
+from repro.ir.sdfg import SDFG
+from repro.ir.validation import validate_sdfg
+
+__all__ = [
+    "ArrayDesc",
+    "as_dtype",
+    "dtype_to_str",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "boolean",
+    "Index",
+    "Range",
+    "Subset",
+    "Memlet",
+    "AccessNode",
+    "ComputeNode",
+    "LibraryCall",
+    "MapCompute",
+    "Node",
+    "State",
+    "ControlFlowRegion",
+    "ControlFlowElement",
+    "LoopRegion",
+    "ConditionalRegion",
+    "SDFG",
+    "validate_sdfg",
+]

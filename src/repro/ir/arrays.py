@@ -1,0 +1,121 @@
+"""Array and scalar data descriptors.
+
+Every named data container in an SDFG (program inputs, transients, gradients,
+tapes) is described by an :class:`ArrayDesc`.  Shapes may mix integers and
+symbolic expressions in the SDFG's size parameters (``N``, ``TSTEPS``...);
+scalars are 0-dimensional arrays, which keeps gradient accumulation uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir.dtypes import as_dtype, itemsize_bytes
+from repro.symbolic import Const, Expr, as_expr, evaluate
+
+ShapeEntry = "Expr | int"
+
+
+@dataclass
+class ArrayDesc:
+    """Descriptor of one data container.
+
+    Attributes
+    ----------
+    name:
+        Container name, unique within the SDFG.
+    shape:
+        Tuple of dimension sizes (ints or symbolic expressions). ``()`` means
+        scalar.
+    dtype:
+        NumPy dtype of the elements.
+    transient:
+        True for containers allocated inside the SDFG (temporaries, tapes,
+        gradients); False for containers passed in by the caller.
+    zero_init:
+        If True the code generator zero-initialises the container on
+        allocation.  Gradient containers always use this (the paper
+        initialises all gradients to zero and accumulates).
+    """
+
+    name: str
+    shape: tuple = ()
+    dtype: np.dtype = np.dtype(np.float64)
+    transient: bool = False
+    zero_init: bool = False
+
+    def __post_init__(self) -> None:
+        self.dtype = as_dtype(self.dtype)
+        normalized = []
+        for dim in self.shape:
+            if isinstance(dim, Expr):
+                normalized.append(dim)
+            else:
+                normalized.append(int(dim))
+        self.shape = tuple(normalized)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def is_scalar(self) -> bool:
+        return len(self.shape) == 0
+
+    def shape_exprs(self) -> tuple[Expr, ...]:
+        """Shape with every entry coerced to a symbolic expression."""
+        return tuple(as_expr(dim) for dim in self.shape)
+
+    def free_symbols(self) -> set[str]:
+        symbols: set[str] = set()
+        for dim in self.shape:
+            if isinstance(dim, Expr):
+                symbols |= dim.free_symbols()
+        return symbols
+
+    def concrete_shape(self, symbol_values: Mapping[str, int]) -> tuple[int, ...]:
+        """Evaluate the shape for concrete symbol values."""
+        result = []
+        for dim in self.shape:
+            if isinstance(dim, Expr):
+                result.append(int(evaluate(dim, symbol_values)))
+            else:
+                result.append(int(dim))
+        return tuple(result)
+
+    def total_elements(self, symbol_values: Mapping[str, int]) -> int:
+        total = 1
+        for dim in self.concrete_shape(symbol_values):
+            total *= dim
+        return total
+
+    def size_bytes(self, symbol_values: Mapping[str, int]) -> int:
+        """Memory footprint in bytes for concrete symbol values (used by the
+        ILP memory-measurement sequence)."""
+        return self.total_elements(symbol_values) * itemsize_bytes(self.dtype)
+
+    def symbolic_total_elements(self) -> Expr:
+        total: Expr = Const(1)
+        for dim in self.shape_exprs():
+            total = total * dim
+        return total
+
+    # -- helpers ---------------------------------------------------------
+    def copy(self, **overrides) -> "ArrayDesc":
+        data = {
+            "name": self.name,
+            "shape": self.shape,
+            "dtype": self.dtype,
+            "transient": self.transient,
+            "zero_init": self.zero_init,
+        }
+        data.update(overrides)
+        return ArrayDesc(**data)
+
+    def __repr__(self) -> str:
+        kind = "transient" if self.transient else "argument"
+        return f"ArrayDesc({self.name!r}, shape={self.shape}, dtype={self.dtype.name}, {kind})"

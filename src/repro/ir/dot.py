@@ -1,0 +1,91 @@
+"""Graphviz DOT export of SDFGs.
+
+Only for inspection/debugging; mirrors the visual language of the paper's
+figures: ovals for access nodes, boxes for tasklets/compute nodes, trapezoid
+labels for maps, double octagons for library nodes, clusters for states and
+control-flow regions.
+"""
+
+from __future__ import annotations
+
+from repro.ir.control_flow import ConditionalRegion, ControlFlowRegion, LoopRegion
+from repro.ir.nodes import AccessNode, LibraryCall, MapCompute
+from repro.ir.state import State
+from repro.symbolic import to_python
+
+
+def sdfg_to_dot(sdfg) -> str:
+    """Render the SDFG as a Graphviz digraph source string."""
+    lines = [f'digraph "{sdfg.name}" {{', "  compound=true;", "  node [fontsize=10];"]
+    counter = [0]
+    _emit_region(sdfg.root, lines, counter, indent="  ")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _next_id(counter) -> str:
+    counter[0] += 1
+    return f"n{counter[0]}"
+
+
+def _emit_region(region: ControlFlowRegion, lines, counter, indent: str) -> None:
+    for element in region.elements:
+        if isinstance(element, State):
+            _emit_state(element, lines, counter, indent)
+        elif isinstance(element, LoopRegion):
+            cluster = _next_id(counter)
+            header = (
+                f"{element.itervar} = {to_python(element.start)} .. {to_python(element.stop)} "
+                f"step {to_python(element.step)}"
+            )
+            lines.append(f'{indent}subgraph cluster_{cluster} {{')
+            lines.append(f'{indent}  label="loop: {header}"; color=blue;')
+            _emit_region(element.body, lines, counter, indent + "  ")
+            lines.append(f"{indent}}}")
+        elif isinstance(element, ConditionalRegion):
+            cluster = _next_id(counter)
+            lines.append(f'{indent}subgraph cluster_{cluster} {{')
+            lines.append(f'{indent}  label="conditional"; color=darkgreen;')
+            for cond, branch in element.branches:
+                branch_cluster = _next_id(counter)
+                label = to_python(cond) if cond is not None else "else"
+                lines.append(f'{indent}  subgraph cluster_{branch_cluster} {{')
+                lines.append(f'{indent}    label="{_escape(label)}"; style=dashed;')
+                _emit_region(branch, lines, counter, indent + "    ")
+                lines.append(f"{indent}  }}")
+            lines.append(f"{indent}}}")
+
+
+def _emit_state(state: State, lines, counter, indent: str) -> None:
+    cluster = _next_id(counter)
+    lines.append(f"{indent}subgraph cluster_{cluster} {{")
+    lines.append(f'{indent}  label="{_escape(state.label)}"; color=gray;')
+    graph = state.dataflow_graph()
+    ids: dict[object, str] = {}
+    for node in graph.nodes:
+        node_id = _next_id(counter)
+        ids[node] = node_id
+        if isinstance(node, AccessNode):
+            lines.append(f'{indent}  {node_id} [shape=ellipse, label="{_escape(node.data)}"];')
+        elif isinstance(node, MapCompute):
+            domain = ", ".join(
+                f"{p}=[{to_python(r.start)}:{to_python(r.stop)}]"
+                for p, r in zip(node.params, node.ranges)
+            )
+            label = f"map [{domain}]\\n{to_python(node.expr)}" if node.params else to_python(node.expr)
+            lines.append(f'{indent}  {node_id} [shape=box, label="{_escape(label)}"];')
+        elif isinstance(node, LibraryCall):
+            lines.append(
+                f'{indent}  {node_id} [shape=doubleoctagon, label="{_escape(node.kind)}"];'
+            )
+        else:
+            lines.append(f'{indent}  {node_id} [shape=box, label="{_escape(node.label)}"];')
+    for src, dst, data in graph.edges(data=True):
+        memlet = data.get("memlet")
+        label = memlet.data if memlet is not None else ""
+        lines.append(f'{indent}  {ids[src]} -> {ids[dst]} [label="{_escape(label)}"];')
+    lines.append(f"{indent}}}")
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"').replace("\n", "\\n")

@@ -1,0 +1,50 @@
+"""Data types used by the IR.
+
+Thin wrappers around NumPy dtypes so the rest of the code base can talk about
+types without importing NumPy everywhere, plus helpers used by the memory
+model of the ILP checkpointing pass (itemsize in bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+float32 = np.dtype(np.float32)
+float64 = np.dtype(np.float64)
+int32 = np.dtype(np.int32)
+int64 = np.dtype(np.int64)
+boolean = np.dtype(np.bool_)
+
+_ALIASES = {
+    "float": float64,
+    "double": float64,
+    "float64": float64,
+    "float32": float32,
+    "single": float32,
+    "int": int64,
+    "int64": int64,
+    "int32": int32,
+    "bool": boolean,
+    "boolean": boolean,
+}
+
+
+def as_dtype(value) -> np.dtype:
+    """Coerce strings, Python types and NumPy dtypes to a canonical dtype."""
+    if isinstance(value, np.dtype):
+        return value
+    if isinstance(value, str):
+        if value in _ALIASES:
+            return _ALIASES[value]
+        return np.dtype(value)
+    return np.dtype(value)
+
+
+def dtype_to_str(dtype: np.dtype) -> str:
+    """Stable string name for serialisation."""
+    return np.dtype(dtype).name
+
+
+def itemsize_bytes(dtype) -> int:
+    """Size of one element in bytes."""
+    return int(np.dtype(as_dtype(dtype)).itemsize)

@@ -1,0 +1,59 @@
+"""Memlets: data-movement annotations on dataflow edges.
+
+A memlet names the container being moved, the subset of it that is accessed
+and - for writes - whether the write accumulates into the destination
+(write-conflict resolution by addition).  Accumulating writes are how both the
+frontend expresses ``+=`` statements and how the AD engine expresses gradient
+accumulation ("any array read in the forward graph results in a write in the
+backward graph ... we always accumulate gradients", paper Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.ir.subsets import Subset
+
+
+@dataclass
+class Memlet:
+    """Data movement descriptor.
+
+    Attributes
+    ----------
+    data:
+        Name of the container being accessed.
+    subset:
+        Which elements are accessed; ``None`` means the whole container.
+    accumulate:
+        For write memlets: True if the write adds into the existing contents
+        (``+=``), False for a plain overwrite.
+    """
+
+    data: str
+    subset: Optional[Subset] = None
+    accumulate: bool = False
+
+    def free_symbols(self) -> set[str]:
+        if self.subset is None:
+            return set()
+        return self.subset.free_symbols()
+
+    def substituted(self, mapping: Mapping[str, object]) -> "Memlet":
+        subset = self.subset.substituted(mapping) if self.subset is not None else None
+        return Memlet(self.data, subset, self.accumulate)
+
+    def is_full_write(self, shape) -> bool:
+        """True if this memlet covers the whole container of the given shape
+        (i.e. a write through it replaces every element)."""
+        if self.subset is None:
+            return True
+        return self.subset.is_full(shape)
+
+    def copy(self) -> "Memlet":
+        return Memlet(self.data, self.subset, self.accumulate)
+
+    def __repr__(self) -> str:
+        acc = ", accumulate" if self.accumulate else ""
+        return f"Memlet({self.data!r}, {self.subset!r}{acc})"

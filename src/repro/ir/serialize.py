@@ -1,0 +1,232 @@
+"""JSON-compatible serialisation of SDFGs.
+
+Expressions are serialised as Python source strings (round-tripped through
+``repro.symbolic.parse_expr``), which keeps the format readable and diffable.
+Serialisation exists mainly so users can snapshot generated forward/backward
+SDFGs and inspect them offline; it is exercised by the test suite as a
+round-trip invariant.
+"""
+
+from __future__ import annotations
+
+from repro.ir.arrays import ArrayDesc
+from repro.ir.control_flow import ConditionalRegion, ControlFlowRegion, LoopRegion
+from repro.ir.dtypes import dtype_to_str
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import LibraryCall, MapCompute
+from repro.ir.sdfg import SDFG
+from repro.ir.state import State
+from repro.ir.subsets import Index, Range, Subset
+from repro.symbolic import Expr, parse_expr, to_python
+
+
+def _expr_to_str(expr) -> str:
+    if isinstance(expr, Expr):
+        return to_python(expr)
+    return repr(expr)
+
+
+def _subset_to_dict(subset: Subset | None):
+    if subset is None:
+        return None
+    dims = []
+    for dim in subset:
+        if isinstance(dim, Index):
+            dims.append({"kind": "index", "value": _expr_to_str(dim.value)})
+        else:
+            dims.append(
+                {
+                    "kind": "range",
+                    "start": _expr_to_str(dim.start),
+                    "stop": _expr_to_str(dim.stop),
+                    "step": _expr_to_str(dim.step),
+                }
+            )
+    return dims
+
+
+def _subset_from_dict(data) -> Subset | None:
+    if data is None:
+        return None
+    dims = []
+    for dim in data:
+        if dim["kind"] == "index":
+            dims.append(Index(parse_expr(dim["value"])))
+        else:
+            dims.append(
+                Range(parse_expr(dim["start"]), parse_expr(dim["stop"]), parse_expr(dim["step"]))
+            )
+    return Subset(dims)
+
+
+def _memlet_to_dict(memlet: Memlet) -> dict:
+    return {
+        "data": memlet.data,
+        "subset": _subset_to_dict(memlet.subset),
+        "accumulate": memlet.accumulate,
+    }
+
+
+def _memlet_from_dict(data: dict) -> Memlet:
+    return Memlet(data["data"], _subset_from_dict(data["subset"]), data["accumulate"])
+
+
+def _node_to_dict(node) -> dict:
+    base = {
+        "label": node.label,
+        "inputs": {conn: _memlet_to_dict(memlet) for conn, memlet in node.inputs.items()},
+        "output": _memlet_to_dict(node.output),
+    }
+    if isinstance(node, MapCompute):
+        base["type"] = "map"
+        base["params"] = list(node.params)
+        base["ranges"] = [
+            {
+                "start": _expr_to_str(r.start),
+                "stop": _expr_to_str(r.stop),
+                "step": _expr_to_str(r.step),
+            }
+            for r in node.ranges
+        ]
+        base["expr"] = _expr_to_str(node.expr)
+    elif isinstance(node, LibraryCall):
+        base["type"] = "library"
+        base["kind"] = node.kind
+        base["attrs"] = dict(node.attrs)
+    else:  # pragma: no cover - no other node types exist
+        raise TypeError(f"Cannot serialise node {node!r}")
+    return base
+
+
+def _node_from_dict(data: dict):
+    inputs = {conn: _memlet_from_dict(memlet) for conn, memlet in data["inputs"].items()}
+    output = _memlet_from_dict(data["output"])
+    if data["type"] == "map":
+        ranges = [
+            Range(parse_expr(r["start"]), parse_expr(r["stop"]), parse_expr(r["step"]))
+            for r in data["ranges"]
+        ]
+        return MapCompute(
+            data["params"], ranges, parse_expr(data["expr"]), inputs, output, label=data["label"]
+        )
+    return LibraryCall(data["kind"], inputs, output, attrs=data["attrs"], label=data["label"])
+
+
+def _state_to_dict(state: State) -> dict:
+    return {
+        "type": "state",
+        "label": state.label,
+        "nodes": [_node_to_dict(node) for node in state],
+    }
+
+
+def _element_to_dict(element) -> dict:
+    if isinstance(element, State):
+        return _state_to_dict(element)
+    if isinstance(element, LoopRegion):
+        return {
+            "type": "loop",
+            "label": element.label,
+            "itervar": element.itervar,
+            "start": _expr_to_str(element.start),
+            "stop": _expr_to_str(element.stop),
+            "step": _expr_to_str(element.step),
+            "body": _region_to_dict(element.body),
+        }
+    if isinstance(element, ConditionalRegion):
+        return {
+            "type": "conditional",
+            "label": element.label,
+            "branches": [
+                {
+                    "condition": _expr_to_str(cond) if cond is not None else None,
+                    "body": _region_to_dict(region),
+                }
+                for cond, region in element.branches
+            ],
+        }
+    raise TypeError(f"Cannot serialise element {element!r}")
+
+
+def _region_to_dict(region: ControlFlowRegion) -> dict:
+    return {
+        "label": region.label,
+        "elements": [_element_to_dict(element) for element in region.elements],
+    }
+
+
+def _element_from_dict(data: dict):
+    if data["type"] == "state":
+        state = State(data["label"])
+        for node_data in data["nodes"]:
+            state.add(_node_from_dict(node_data))
+        return state
+    if data["type"] == "loop":
+        loop = LoopRegion(
+            data["itervar"],
+            parse_expr(data["start"]),
+            parse_expr(data["stop"]),
+            parse_expr(data["step"]),
+            label=data["label"],
+        )
+        loop.body = _region_from_dict(data["body"])
+        return loop
+    if data["type"] == "conditional":
+        cond = ConditionalRegion(label=data["label"])
+        for branch in data["branches"]:
+            condition = parse_expr(branch["condition"]) if branch["condition"] else None
+            region = cond.add_branch(condition)
+            restored = _region_from_dict(branch["body"])
+            region.elements = restored.elements
+            region.label = restored.label
+        return cond
+    raise TypeError(f"Cannot deserialise element {data!r}")
+
+
+def _region_from_dict(data: dict) -> ControlFlowRegion:
+    region = ControlFlowRegion(label=data["label"])
+    for element_data in data["elements"]:
+        region.add(_element_from_dict(element_data))
+    return region
+
+
+def sdfg_to_dict(sdfg: SDFG) -> dict:
+    """Serialise an SDFG to a JSON-compatible dictionary."""
+    return {
+        "name": sdfg.name,
+        "arrays": {
+            name: {
+                "shape": [_expr_to_str(dim) if isinstance(dim, Expr) else dim for dim in desc.shape],
+                "dtype": dtype_to_str(desc.dtype),
+                "transient": desc.transient,
+                "zero_init": desc.zero_init,
+            }
+            for name, desc in sdfg.arrays.items()
+        },
+        "symbols": {name: dtype_to_str(dtype) for name, dtype in sdfg.symbols.items()},
+        "arg_names": list(sdfg.arg_names),
+        "root": _region_to_dict(sdfg.root),
+    }
+
+
+def sdfg_from_dict(data: dict) -> SDFG:
+    """Rebuild an SDFG from :func:`sdfg_to_dict` output."""
+    sdfg = SDFG(data["name"])
+    for name, dtype in data["symbols"].items():
+        sdfg.add_symbol(name, dtype)
+    for name, desc in data["arrays"].items():
+        shape = tuple(
+            parse_expr(dim) if isinstance(dim, str) else dim for dim in desc["shape"]
+        )
+        sdfg.add_array(
+            name,
+            shape,
+            desc["dtype"],
+            transient=desc["transient"],
+            zero_init=desc["zero_init"],
+        )
+    sdfg.arg_names = list(data["arg_names"])
+    restored = _region_from_dict(data["root"])
+    sdfg.root.elements = restored.elements
+    sdfg.root.label = restored.label
+    return sdfg

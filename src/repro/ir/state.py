@@ -1,0 +1,108 @@
+"""SDFG states.
+
+A state holds a dataflow graph: access nodes connected to compute nodes by
+memlet-labelled edges.  The frontend appends compute nodes in program order,
+which is by construction a valid topological order of the dataflow graph, so
+the state stores an *ordered list* of compute nodes and materialises the
+explicit bipartite graph (access nodes <-> compute nodes) on demand for
+analyses such as the CCS reverse-BFS and for DOT rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.ir.nodes import AccessNode, ComputeNode
+from repro.util import OrderedSet
+
+
+class State:
+    """A single SDFG state (one step of execution, akin to a basic block)."""
+
+    def __init__(self, label: str = "state") -> None:
+        self.label = label
+        self.nodes: list[ComputeNode] = []
+
+    # -- construction ------------------------------------------------------
+    def add(self, node: ComputeNode) -> ComputeNode:
+        """Append a compute node; program order == execution order."""
+        self.nodes.append(node)
+        return node
+
+    def extend(self, nodes: Iterable[ComputeNode]) -> None:
+        for node in nodes:
+            self.add(node)
+
+    # -- queries -----------------------------------------------------------
+    def __iter__(self) -> Iterator[ComputeNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def is_empty(self) -> bool:
+        return not self.nodes
+
+    def read_data(self) -> OrderedSet[str]:
+        """All containers read by this state (including read-modify-write)."""
+        result: OrderedSet[str] = OrderedSet()
+        for node in self.nodes:
+            result.update(sorted(node.read_data()))
+            if node.output.accumulate:
+                # An accumulating write also reads the previous contents.
+                result.add(node.output.data)
+        return result
+
+    def written_data(self) -> OrderedSet[str]:
+        """All containers written by this state."""
+        return OrderedSet(node.output.data for node in self.nodes)
+
+    def full_overwrites(self, arrays) -> OrderedSet[str]:
+        """Containers whose entire contents are replaced by this state.
+
+        ``arrays`` maps container names to :class:`~repro.ir.arrays.ArrayDesc`
+        so the memlet subset can be compared against the container shape.
+        """
+        result: OrderedSet[str] = OrderedSet()
+        for node in self.nodes:
+            memlet = node.output
+            if memlet.accumulate:
+                continue
+            desc = arrays[memlet.data]
+            if memlet.is_full_write(desc.shape):
+                result.add(memlet.data)
+        return result
+
+    # -- graph view ----------------------------------------------------------
+    def dataflow_graph(self) -> nx.MultiDiGraph:
+        """Materialise the access-node / compute-node bipartite graph.
+
+        For each compute node we add one access node per distinct input
+        container (reusing the most recent *written* access node of that
+        container so def-use chains inside the state are explicit), plus one
+        access node for its output.  Edges carry the memlet in their data
+        dict under the key ``"memlet"``.
+        """
+        graph: nx.MultiDiGraph = nx.MultiDiGraph()
+        last_write: dict[str, AccessNode] = {}
+        for node in self.nodes:
+            graph.add_node(node)
+            for connector, memlet in node.inputs.items():
+                access = last_write.get(memlet.data)
+                if access is None:
+                    access = AccessNode(memlet.data)
+                    graph.add_node(access)
+                    # Remember pure-read access nodes too, so repeated reads
+                    # share one node (matching typical SDFG rendering).
+                    last_write.setdefault(memlet.data, access)
+                graph.add_edge(access, node, memlet=memlet, connector=connector)
+            out_access = AccessNode(node.output.data)
+            graph.add_node(out_access)
+            graph.add_edge(node, out_access, memlet=node.output, connector="__out")
+            last_write[node.output.data] = out_access
+        return graph
+
+    def __repr__(self) -> str:
+        return f"State({self.label!r}, {len(self.nodes)} nodes)"

@@ -1,0 +1,181 @@
+"""Subsets: the index sets referenced by memlets.
+
+A :class:`Subset` describes which elements of a data container a memlet moves.
+Each dimension is either a single :class:`Index` (an expression in loop/map
+iterators and size symbols) or a :class:`Range` with Python-slice semantics
+(inclusive start, exclusive stop, step).
+
+Subsets are the piece of the IR that lets DaCe AD convert array slices into
+"direct memory accesses" instead of dynamic slicing (paper, Section V-B): the
+code generator turns affine subsets into NumPy basic slices, and the AD engine
+transposes them to route gradients back to the right elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from repro.symbolic import Const, Expr, as_expr, evaluate, substitute
+from repro.symbolic.simplify import simplify
+
+
+@dataclass(frozen=True)
+class Index:
+    """A single-element access in one dimension, e.g. ``A[i + 1, ...]``."""
+
+    value: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", as_expr(self.value))
+
+    def free_symbols(self) -> set[str]:
+        return self.value.free_symbols()
+
+    def substituted(self, mapping: Mapping[str, object]) -> "Index":
+        return Index(simplify(substitute(self.value, mapping)))
+
+    def __repr__(self) -> str:
+        return f"Index({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Range:
+    """A strided range ``start:stop:step`` (stop exclusive) in one dimension."""
+
+    start: Expr
+    stop: Expr
+    step: Expr = Const(1)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", as_expr(self.start))
+        object.__setattr__(self, "stop", as_expr(self.stop))
+        object.__setattr__(self, "step", as_expr(self.step))
+
+    def free_symbols(self) -> set[str]:
+        return self.start.free_symbols() | self.stop.free_symbols() | self.step.free_symbols()
+
+    def substituted(self, mapping: Mapping[str, object]) -> "Range":
+        return Range(
+            simplify(substitute(self.start, mapping)),
+            simplify(substitute(self.stop, mapping)),
+            simplify(substitute(self.step, mapping)),
+        )
+
+    def length_expr(self) -> Expr:
+        """Number of elements: ceil((stop - start) / step) for positive step."""
+        diff = self.stop - self.start
+        return simplify((diff + self.step - Const(1)) // self.step)
+
+    def concrete_length(self, symbol_values: Mapping[str, int]) -> int:
+        start = int(evaluate(self.start, symbol_values))
+        stop = int(evaluate(self.stop, symbol_values))
+        step = int(evaluate(self.step, symbol_values))
+        return len(range(start, stop, step))
+
+    def __repr__(self) -> str:
+        return f"Range({self.start!r}, {self.stop!r}, {self.step!r})"
+
+
+Dimension = Union[Index, Range]
+
+
+class Subset:
+    """An N-dimensional subset: one :class:`Index` or :class:`Range` per dim.
+
+    A subset with zero dimensions addresses a scalar container.
+    """
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Iterable[Dimension] = ()) -> None:
+        self.dims: tuple[Dimension, ...] = tuple(dims)
+        for dim in self.dims:
+            if not isinstance(dim, (Index, Range)):
+                raise TypeError(f"Subset dimensions must be Index or Range, got {dim!r}")
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def full(cls, shape: Iterable) -> "Subset":
+        """The subset covering a whole array of the given (symbolic) shape."""
+        return cls(Range(Const(0), as_expr(dim), Const(1)) for dim in shape)
+
+    @classmethod
+    def point(cls, indices: Iterable) -> "Subset":
+        """A single-element subset, e.g. ``A[i, j-1]``."""
+        return cls(Index(as_expr(index)) for index in indices)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def is_point(self) -> bool:
+        """True if every dimension is a single index (one element moved)."""
+        return all(isinstance(dim, Index) for dim in self.dims)
+
+    def is_full(self, shape: Iterable) -> bool:
+        """True if this subset trivially covers an array of the given shape."""
+        shape = tuple(as_expr(dim) for dim in shape)
+        if len(shape) != len(self.dims):
+            return False
+        for dim, size in zip(self.dims, shape):
+            if not isinstance(dim, Range):
+                return False
+            if simplify(dim.start) != Const(0):
+                return False
+            if simplify(dim.step) != Const(1):
+                return False
+            if simplify(dim.stop) != simplify(size):
+                return False
+        return True
+
+    def free_symbols(self) -> set[str]:
+        symbols: set[str] = set()
+        for dim in self.dims:
+            symbols |= dim.free_symbols()
+        return symbols
+
+    def shape_exprs(self) -> tuple[Expr, ...]:
+        """Shape of the moved data (Index dims contribute no axis)."""
+        return tuple(dim.length_expr() for dim in self.dims if isinstance(dim, Range))
+
+    def volume_expr(self) -> Expr:
+        """Number of elements moved (symbolic)."""
+        total: Expr = Const(1)
+        for dim in self.dims:
+            if isinstance(dim, Range):
+                total = total * dim.length_expr()
+        return simplify(total)
+
+    def concrete_volume(self, symbol_values: Mapping[str, int]) -> int:
+        total = 1
+        for dim in self.dims:
+            if isinstance(dim, Range):
+                total *= dim.concrete_length(symbol_values)
+        return total
+
+    # -- transformations -------------------------------------------------
+    def substituted(self, mapping: Mapping[str, object]) -> "Subset":
+        return Subset(dim.substituted(mapping) for dim in self.dims)
+
+    # -- misc ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subset):
+            return NotImplemented
+        return self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, index: int) -> Dimension:
+        return self.dims[index]
+
+    def __repr__(self) -> str:
+        return f"Subset({list(self.dims)!r})"

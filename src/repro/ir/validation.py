@@ -1,0 +1,107 @@
+"""Structural validation of SDFGs.
+
+Validation catches frontend and transformation bugs early: every memlet must
+reference a registered container, subset dimensionality must match the
+container, map parameters must be unique, loop iterators must not be written
+inside their own body (the paper's loop contract), and conditionals must have
+at most one ``else`` branch.
+"""
+
+from __future__ import annotations
+
+from repro.ir.control_flow import ConditionalRegion, ControlFlowRegion, LoopRegion
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import ComputeNode, LibraryCall, MapCompute
+from repro.ir.state import State
+from repro.util.errors import ValidationError
+
+
+def validate_sdfg(sdfg) -> None:
+    """Raise :class:`ValidationError` on the first structural problem found."""
+    for name in sdfg.arg_names:
+        if name not in sdfg.arrays and name not in sdfg.symbols:
+            raise ValidationError(f"Argument {name!r} is neither an array nor a symbol")
+    _validate_region(sdfg, sdfg.root, loop_iterators=set())
+
+
+def _validate_region(sdfg, region: ControlFlowRegion, loop_iterators: set[str]) -> None:
+    for element in region.elements:
+        if isinstance(element, State):
+            _validate_state(sdfg, element, loop_iterators)
+        elif isinstance(element, LoopRegion):
+            _validate_loop(sdfg, element, loop_iterators)
+        elif isinstance(element, ConditionalRegion):
+            _validate_conditional(sdfg, element, loop_iterators)
+        else:
+            raise ValidationError(f"Unknown control flow element {element!r}")
+
+
+def _validate_loop(sdfg, loop: LoopRegion, loop_iterators: set[str]) -> None:
+    if loop.itervar in loop_iterators:
+        raise ValidationError(f"Loop iterator {loop.itervar!r} shadows an outer loop iterator")
+    if loop.itervar in sdfg.arrays:
+        raise ValidationError(f"Loop iterator {loop.itervar!r} collides with a data container")
+    # The loop body must not write the iterator (static iteration space).
+    if loop.itervar in loop.body.written_data():
+        raise ValidationError(
+            f"Loop body writes its own iterator {loop.itervar!r}; "
+            "unstructured iteration spaces are outside the supported class"
+        )
+    _validate_region(sdfg, loop.body, loop_iterators | {loop.itervar})
+
+
+def _validate_conditional(sdfg, cond: ConditionalRegion, loop_iterators: set[str]) -> None:
+    if not cond.branches:
+        raise ValidationError("Conditional region with no branches")
+    else_count = sum(1 for condition, _ in cond.branches if condition is None)
+    if else_count > 1:
+        raise ValidationError("Conditional region with more than one else branch")
+    for index, (condition, _) in enumerate(cond.branches):
+        if condition is None and index != len(cond.branches) - 1:
+            raise ValidationError("else branch must be the last branch")
+    for _, region in cond.branches:
+        _validate_region(sdfg, region, loop_iterators)
+
+
+def _validate_state(sdfg, state: State, loop_iterators: set[str]) -> None:
+    for node in state:
+        if not isinstance(node, ComputeNode):
+            raise ValidationError(f"State {state.label!r} holds a non-compute node {node!r}")
+        for connector, memlet in node.inputs.items():
+            _validate_memlet(sdfg, memlet, node, connector)
+        _validate_memlet(sdfg, node.output, node, "__out")
+        if isinstance(node, MapCompute):
+            _validate_map(sdfg, node)
+        elif isinstance(node, LibraryCall):
+            pass  # kind already checked at construction
+
+
+def _validate_memlet(sdfg, memlet: Memlet, node: ComputeNode, connector: str) -> None:
+    if memlet.data not in sdfg.arrays:
+        raise ValidationError(
+            f"Memlet on connector {connector!r} of {node!r} references "
+            f"unknown container {memlet.data!r}"
+        )
+    if memlet.subset is not None:
+        desc = sdfg.arrays[memlet.data]
+        if len(memlet.subset) != desc.ndim:
+            raise ValidationError(
+                f"Memlet subset for {memlet.data!r} has {len(memlet.subset)} dimensions, "
+                f"container has {desc.ndim}"
+            )
+
+
+def _validate_map(sdfg, node: MapCompute) -> None:
+    if len(set(node.params)) != len(node.params):
+        raise ValidationError(f"Map {node.label!r} has duplicate parameters {node.params}")
+    for param in node.params:
+        if param in sdfg.arrays:
+            raise ValidationError(
+                f"Map parameter {param!r} of {node.label!r} collides with a data container"
+            )
+    if not node.inputs and node.expr.free_symbols() - set(node.params) - set(sdfg.symbols):
+        # Expressions may only reference connectors, map params and symbols.
+        unknown = node.expr.free_symbols() - set(node.params) - set(sdfg.symbols)
+        raise ValidationError(
+            f"Tasklet of {node.label!r} references unknown symbols {sorted(unknown)}"
+        )

@@ -1,0 +1,34 @@
+"""ML frontend: layers and models lowered to SDFG library nodes.
+
+This package stands in for the DaCeML PyTorch/ONNX importer of the paper: a
+model is described as a sequence of layers (convolution, pooling, dense,
+activation, softmax), which are lowered onto the same SDFG IR and
+differentiated by the same engine as the scientific-computing programs -
+demonstrating the "unified environment" claim.
+"""
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.ml.models import Model, lenet5, mlp, resnet_block, softmax_classifier
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Dense",
+    "Flatten",
+    "Softmax",
+    "Model",
+    "lenet5",
+    "mlp",
+    "resnet_block",
+    "softmax_classifier",
+]

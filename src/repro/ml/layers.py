@@ -1,0 +1,225 @@
+"""Neural-network layers that lower onto the SDFG IR.
+
+Each layer contributes library nodes / elementwise maps to an SDFG under
+construction.  This plays the role of the DaCeML ONNX importer in the paper:
+an externally-described model becomes an SDFG that the same AD engine
+differentiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.frontend.builder import StateBuilder
+from repro.frontend.values import ArrayLeaf, ElementwiseValue, broadcast_shapes, promote_dtype
+from repro.ir import SDFG, Subset
+from repro.symbolic import BinOp, Const
+from repro.util.errors import FrontendError
+
+
+@dataclass
+class LayerContext:
+    """Shared state while building a model SDFG."""
+
+    sdfg: SDFG
+    builder: StateBuilder
+    dtype: np.dtype
+    params: dict[str, tuple] = field(default_factory=dict)  # name -> shape
+
+    def add_parameter(self, name: str, shape: tuple) -> str:
+        """Register a trainable parameter as a non-transient container."""
+        desc = self.sdfg.add_array(name, shape, self.dtype)
+        self.sdfg.arg_names.append(name)
+        self.params[name] = tuple(shape)
+        return desc.name
+
+    def new_state(self, label: str):
+        state = self.sdfg.add_state(self.sdfg.make_name(label))
+        self.builder.set_state(state)
+        return state
+
+
+class Layer:
+    """Base class: a layer transforms one activation leaf into another."""
+
+    name: str = "layer"
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:  # pragma: no cover
+        raise NotImplementedError
+
+    def init_params(self, ctx_params: dict[str, tuple], rng: np.random.Generator,
+                    dtype) -> dict[str, np.ndarray]:
+        """Default: no parameters."""
+        return {}
+
+
+def _add_bias(ctx: LayerContext, value_leaf: ArrayLeaf, bias_leaf: ArrayLeaf,
+              dest_hint: str) -> ArrayLeaf:
+    """Emit ``dest = value + bias`` with trailing-axis broadcasting."""
+    builder = ctx.builder
+    value = builder.value_for_leaf(value_leaf)
+    bias = builder.value_for_leaf(bias_leaf)
+    combined = ElementwiseValue(
+        expr=BinOp("+", value.expr, bias.expr),
+        leaves={**value.leaves, **bias.leaves},
+        shape=broadcast_shapes(value.shape, bias.shape),
+        dtype=promote_dtype(value.dtype, bias.dtype),
+    )
+    dest = builder.new_transient(combined.shape, combined.dtype, dest_hint)
+    builder.emit_elementwise_write(combined, dest, Subset.full(ctx.sdfg.arrays[dest].shape))
+    return builder.leaf_for_array(dest)
+
+
+class Conv2D(Layer):
+    """2-D convolution (NHWC activations, HWIO weights), valid or same padding."""
+
+    def __init__(self, out_channels: int, kernel_size: int, stride: int = 1,
+                 padding: int = 0, bias: bool = True, name: str = "conv") -> None:
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = bias
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        if len(x.shape) != 4:
+            raise FrontendError(f"{self.name}: expected NHWC input, got rank {len(x.shape)}")
+        n, h, w, _ = x.shape
+        weight_name = ctx.add_parameter(
+            f"{self.name}_w",
+            (self.kernel_size, self.kernel_size, _as_int(x.shape[3]), self.out_channels),
+        )
+        inputs = {"_in": x, "_w": ctx.builder.leaf_for_array(weight_name)}
+        if self.use_bias:
+            bias_name = ctx.add_parameter(f"{self.name}_b", (self.out_channels,))
+            inputs["_b"] = ctx.builder.leaf_for_array(bias_name)
+        out_h = (_as_int(h) + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (_as_int(w) + 2 * self.padding - self.kernel_size) // self.stride + 1
+        dest = ctx.builder.new_transient(
+            (x.shape[0], out_h, out_w, self.out_channels), ctx.dtype, f"{self.name}_out"
+        )
+        ctx.new_state(self.name)
+        ctx.builder.emit_library(
+            "conv2d", inputs, dest,
+            attrs={"stride": self.stride, "padding": self.padding},
+            label=self.name,
+        )
+        return ctx.builder.leaf_for_array(dest)
+
+    def init_params(self, ctx_params, rng, dtype):
+        values = {}
+        for name, shape in ctx_params.items():
+            if name == f"{self.name}_w":
+                fan_in = shape[0] * shape[1] * shape[2]
+                values[name] = (rng.standard_normal(shape) / np.sqrt(fan_in)).astype(dtype)
+            elif name == f"{self.name}_b":
+                values[name] = np.zeros(shape, dtype=dtype)
+        return values
+
+
+class MaxPool2D(Layer):
+    """Max pooling with stride equal to the window size."""
+
+    def __init__(self, window: int = 2, name: str = "pool") -> None:
+        self.window = window
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        n, h, w, c = x.shape
+        dest = ctx.builder.new_transient(
+            (n, _as_int(h) // self.window, _as_int(w) // self.window, c),
+            x.dtype, f"{self.name}_out",
+        )
+        ctx.new_state(self.name)
+        ctx.builder.emit_library(
+            "maxpool2d", {"_in": x}, dest, attrs={"window": self.window}, label=self.name
+        )
+        return ctx.builder.leaf_for_array(dest)
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self, name: str = "relu") -> None:
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        dest = ctx.builder.new_transient(x.shape, x.dtype, f"{self.name}_out")
+        ctx.new_state(self.name)
+        ctx.builder.emit_library("relu", {"_in": x}, dest, label=self.name)
+        return ctx.builder.leaf_for_array(dest)
+
+
+class Flatten(Layer):
+    """Flatten all but the leading (batch) dimension."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        total = 1
+        for dim in x.shape[1:]:
+            total *= _as_int(dim)
+        dest = ctx.builder.new_transient((x.shape[0], total), x.dtype, f"{self.name}_out")
+        ctx.new_state(self.name)
+        ctx.builder.emit_library("flatten", {"_in": x}, dest, label=self.name)
+        return ctx.builder.leaf_for_array(dest)
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, units: int, bias: bool = True, name: str = "dense") -> None:
+        self.units = units
+        self.use_bias = bias
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        if len(x.shape) != 2:
+            raise FrontendError(f"{self.name}: expected 2-D input (batch, features)")
+        in_features = _as_int(x.shape[1])
+        weight_name = ctx.add_parameter(f"{self.name}_w", (in_features, self.units))
+        dest = ctx.builder.new_transient((x.shape[0], self.units), ctx.dtype, f"{self.name}_mm")
+        ctx.new_state(self.name)
+        ctx.builder.emit_matmul(x, ctx.builder.leaf_for_array(weight_name), dest)
+        result = ctx.builder.leaf_for_array(dest)
+        if self.use_bias:
+            bias_name = ctx.add_parameter(f"{self.name}_b", (self.units,))
+            result = _add_bias(ctx, result, ctx.builder.leaf_for_array(bias_name),
+                               f"{self.name}_out")
+        return result
+
+    def init_params(self, ctx_params, rng, dtype):
+        values = {}
+        for name, shape in ctx_params.items():
+            if name == f"{self.name}_w":
+                values[name] = (rng.standard_normal(shape) / np.sqrt(shape[0])).astype(dtype)
+            elif name == f"{self.name}_b":
+                values[name] = np.zeros(shape, dtype=dtype)
+        return values
+
+
+class Softmax(Layer):
+    """Row-wise softmax over the last axis."""
+
+    def __init__(self, name: str = "softmax") -> None:
+        self.name = name
+
+    def forward(self, ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        dest = ctx.builder.new_transient(x.shape, x.dtype, f"{self.name}_out")
+        ctx.new_state(self.name)
+        ctx.builder.emit_library("softmax", {"_in": x}, dest, label=self.name)
+        return ctx.builder.leaf_for_array(dest)
+
+
+def _as_int(dim) -> int:
+    """Model shapes are concrete; coerce Const expressions back to ints."""
+    if isinstance(dim, Const):
+        return int(dim.value)
+    if isinstance(dim, (int, np.integer)):
+        return int(dim)
+    raise FrontendError(f"Model shapes must be concrete integers, got {dim!r}")

@@ -1,0 +1,184 @@
+"""Model containers and the reference models used in the evaluation.
+
+``lenet5``, ``mlp``, ``softmax_classifier`` and ``resnet_block`` correspond to
+the NPBench deep-learning kernels (lenet, mlp, softmax, resnet, conv2d) that
+appear in the paper's figures.  A :class:`Model` builds an SDFG whose output
+is the sum-reduction of the final activation (the same scalarisation the
+paper applies to run reverse-mode AD on every benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.frontend.builder import StateBuilder
+from repro.frontend.values import ArrayLeaf
+from repro.ir import SDFG, Subset
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    LayerContext,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+
+
+class Model:
+    """A differentiable model lowered to an SDFG.
+
+    ``layers`` may be a sequence of :class:`Layer` objects (applied in order)
+    or a custom ``forward`` callable mapping ``(ctx, input_leaf)`` to an
+    output leaf for non-sequential topologies (residual blocks).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer] = (),
+        forward: Optional[Callable[[LayerContext, ArrayLeaf], ArrayLeaf]] = None,
+        name: str = "model",
+    ) -> None:
+        self.layers = list(layers)
+        self.custom_forward = forward
+        self.name = name
+        self._ctx: Optional[LayerContext] = None
+
+    # -- construction ----------------------------------------------------------
+    def build_sdfg(self, input_shape: tuple, dtype=np.float32,
+                   input_name: str = "x") -> SDFG:
+        """Build the forward SDFG: input -> layers -> sum-reduced scalar."""
+        sdfg = SDFG(self.name)
+        builder = StateBuilder(sdfg)
+        ctx = LayerContext(sdfg=sdfg, builder=builder, dtype=np.dtype(dtype))
+        sdfg.add_array(input_name, input_shape, dtype)
+        sdfg.arg_names.append(input_name)
+
+        leaf = builder.leaf_for_array(input_name)
+        if self.custom_forward is not None:
+            leaf = self.custom_forward(ctx, leaf)
+        else:
+            for layer in self.layers:
+                leaf = layer.forward(ctx, leaf)
+
+        # Sum-reduce the final activation to a scalar output, as the paper does
+        # to apply reverse-mode AD uniformly.
+        sdfg.add_array("__return", (), np.float64, transient=True)
+        ctx.new_state("loss")
+        builder.emit_reduce_sum(leaf, "__return")
+        sdfg.return_name = "__return"  # type: ignore[attr-defined]
+        sdfg.validate()
+        self._ctx = ctx
+        return sdfg
+
+    @property
+    def parameter_shapes(self) -> dict[str, tuple]:
+        if self._ctx is None:
+            raise RuntimeError("Call build_sdfg() before querying parameters")
+        return dict(self._ctx.params)
+
+    def init_parameters(self, seed: int = 0, dtype=np.float32) -> dict[str, np.ndarray]:
+        """Random parameter values for every registered parameter."""
+        if self._ctx is None:
+            raise RuntimeError("Call build_sdfg() before initialising parameters")
+        rng = np.random.default_rng(seed)
+        values: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            values.update(layer.init_params(self._ctx.params, rng, dtype))
+        # Parameters registered by a custom forward function.
+        for name, shape in self._ctx.params.items():
+            if name not in values:
+                fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+                values[name] = (rng.standard_normal(shape) / np.sqrt(max(fan_in, 1))).astype(dtype)
+        return values
+
+
+# ---------------------------------------------------------------------------
+# Reference models (the paper's DL benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def lenet5(num_classes: int = 10, name: str = "lenet") -> Model:
+    """LeNet-5-style CNN (the NPBench ``lenet`` kernel)."""
+    return Model(
+        layers=[
+            Conv2D(6, 5, name="c1"),
+            ReLU(name="r1"),
+            MaxPool2D(2, name="p1"),
+            Conv2D(16, 5, name="c2"),
+            ReLU(name="r2"),
+            MaxPool2D(2, name="p2"),
+            Flatten(name="flat"),
+            Dense(120, name="f3"),
+            ReLU(name="r3"),
+            Dense(84, name="f4"),
+            ReLU(name="r4"),
+            Dense(num_classes, name="f5"),
+        ],
+        name=name,
+    )
+
+
+def mlp(hidden: tuple[int, ...] = (256, 128), num_classes: int = 10, name: str = "mlp") -> Model:
+    """Multi-layer perceptron (the NPBench ``mlp`` kernel)."""
+    layers: list[Layer] = []
+    for index, width in enumerate(hidden):
+        layers.append(Dense(width, name=f"d{index}"))
+        layers.append(ReLU(name=f"r{index}"))
+    layers.append(Dense(num_classes, name="d_out"))
+    layers.append(Softmax(name="softmax"))
+    return Model(layers=layers, name=name)
+
+
+def softmax_classifier(num_classes: int = 10, name: str = "softmax_model") -> Model:
+    """A single softmax layer (the NPBench ``softmax`` kernel shape)."""
+    return Model(layers=[Softmax(name="softmax")], name=name)
+
+
+def conv_relu(out_channels: int = 8, kernel: int = 3, name: str = "conv2d_model") -> Model:
+    """Convolution followed by bias + ReLU (the NPBench ``conv2d`` kernel shape)."""
+    return Model(layers=[Conv2D(out_channels, kernel, name="conv"), ReLU(name="relu")], name=name)
+
+
+def resnet_block(channels: int = 8, name: str = "resnet") -> Model:
+    """A residual basic block: conv-relu-conv plus identity skip, then ReLU.
+
+    Non-sequential topologies use the custom-forward path, exercising the same
+    code as hand-built SDFGs.
+    """
+
+    conv1 = Conv2D(channels, 3, padding=1, name="rb_c1")
+    conv2 = Conv2D(channels, 3, padding=1, name="rb_c2")
+    relu1 = ReLU(name="rb_r1")
+
+    def forward(ctx: LayerContext, x: ArrayLeaf) -> ArrayLeaf:
+        from repro.frontend.values import ElementwiseValue, promote_dtype
+        from repro.symbolic import BinOp
+
+        y = conv1.forward(ctx, x)
+        y = relu1.forward(ctx, y)
+        y = conv2.forward(ctx, y)
+        # skip connection: out = relu(y + x)
+        builder = ctx.builder
+        y_val = builder.value_for_leaf(y)
+        x_val = builder.value_for_leaf(x)
+        summed = ElementwiseValue(
+            expr=BinOp("+", y_val.expr, x_val.expr),
+            leaves={**y_val.leaves, **x_val.leaves},
+            shape=y_val.shape,
+            dtype=promote_dtype(y_val.dtype, x_val.dtype),
+        )
+        dest = builder.new_transient(summed.shape, summed.dtype, "rb_sum")
+        ctx.new_state("rb_add")
+        builder.emit_elementwise_write(summed, dest, Subset.full(ctx.sdfg.arrays[dest].shape))
+        out = builder.new_transient(summed.shape, summed.dtype, "rb_out")
+        ctx.new_state("rb_relu_out")
+        builder.emit_library("relu", {"_in": builder.leaf_for_array(dest)}, out)
+        return builder.leaf_for_array(out)
+
+    model = Model(forward=forward, name=name)
+    model.layers = [conv1, relu1, conv2]  # so init_params covers the convolutions
+    return model

@@ -1,0 +1,32 @@
+"""NPBench-style kernel suite.
+
+Each kernel module provides the same computation three ways:
+
+* a plain NumPy reference (ground truth for the forward value),
+* a DaCe-AD program (``@repro.program`` or an :class:`repro.ml.Model`) -
+  unchanged NumPy code apart from the type annotations,
+* a jaxlike implementation written the way the paper's JAX ports are written
+  (functional updates, ``lax``-style slicing, scans),
+
+plus an initializer with size presets and metadata (category, dtype, the
+paper's reported speedup) used by the benchmark harness.
+"""
+
+from repro.npbench.registry import (
+    KernelSpec,
+    all_kernels,
+    get_kernel,
+    kernels_by_category,
+    register_kernel,
+)
+
+# Importing the kernels package populates the registry.
+from repro.npbench import kernels as _kernels  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "KernelSpec",
+    "register_kernel",
+    "get_kernel",
+    "all_kernels",
+    "kernels_by_category",
+]

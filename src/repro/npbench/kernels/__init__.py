@@ -1,0 +1,10 @@
+"""Kernel modules; importing this package registers every kernel."""
+
+from repro.npbench.kernels import (  # noqa: F401
+    blas_vectorized,
+    deep_learning,
+    linalg_loops,
+    stencils,
+)
+
+__all__ = ["blas_vectorized", "deep_learning", "linalg_loops", "stencils"]

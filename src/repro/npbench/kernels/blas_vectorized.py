@@ -1,0 +1,361 @@
+"""Vectorised (whole-array / BLAS-bound) kernels - the Fig. 10 category.
+
+These programs contain no sequential loops; both DaCe AD and the jaxlike
+baseline spend their time in the same BLAS calls, so the paper reports
+speedups close to 1 here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.baselines.jaxlike import numpy_api as jnp
+from repro.npbench.kernels.common import jax_gradient, positive, rng_for
+from repro.npbench.registry import KernelSpec, register_kernel
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+K = repro.symbol("K")
+NQ = repro.symbol("NQ")
+NP = repro.symbol("NP")
+
+
+def _spec(name, domain, sizes, initialize, numpy_fn, make_program, jax_fn, wrt,
+          paper_speedup=None, notes=""):
+    return register_kernel(KernelSpec(
+        name=name, category="vectorized", domain=domain, sizes=sizes,
+        initialize=initialize, numpy_fn=numpy_fn, make_program=make_program,
+        jaxlike_grad=lambda data, wrt_name: jax_gradient(jax_fn, data, wrt_name),
+        wrt=wrt, paper_speedup=paper_speedup, notes=notes,
+    ))
+
+
+# --------------------------------------------------------------------------- atax
+def _atax_init(M, N, seed=42):
+    rng = rng_for(seed)
+    return {"A": positive(rng, M, N), "x": positive(rng, N)}
+
+
+def _atax_numpy(A, x):
+    y = A.T @ (A @ x)
+    return np.sum(y)
+
+
+def _atax_program():
+    @repro.program
+    def atax(A: repro.float64[M, N], x: repro.float64[N]):
+        y = A.T @ (A @ x)
+        return np.sum(y)
+
+    return atax
+
+
+def _atax_jax(A, x):
+    y = jnp.matmul(jnp.transpose(A), jnp.matmul(A, x))
+    return jnp.sum(y)
+
+
+_spec("atax", "linear algebra", {"S": {"M": 12, "N": 10}, "paper": {"M": 1200, "N": 1400}},
+      _atax_init, _atax_numpy, _atax_program, _atax_jax, wrt="A", paper_speedup=1.21)
+
+
+# --------------------------------------------------------------------------- bicg
+def _bicg_init(M, N, seed=42):
+    rng = rng_for(seed)
+    return {"A": positive(rng, N, M), "p": positive(rng, M), "r": positive(rng, N)}
+
+
+def _bicg_numpy(A, p, r):
+    s = r @ A
+    q = A @ p
+    return np.sum(s) + np.sum(q)
+
+
+def _bicg_program():
+    @repro.program
+    def bicg(A: repro.float64[N, M], p: repro.float64[M], r: repro.float64[N]):
+        s = r @ A
+        q = A @ p
+        return np.sum(s) + np.sum(q)
+
+    return bicg
+
+
+def _bicg_jax(A, p, r):
+    s = jnp.matmul(r, A)
+    q = jnp.matmul(A, p)
+    return jnp.sum(s) + jnp.sum(q)
+
+
+_spec("bicg", "linear algebra", {"S": {"N": 12, "M": 10}, "paper": {"N": 1200, "M": 1400}},
+      _bicg_init, _bicg_numpy, _bicg_program, _bicg_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- gemm
+def _gemm_init(N, M, K, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.5, "beta": 1.2, "C": positive(rng, N, M),
+            "A": positive(rng, N, K), "B": positive(rng, K, M)}
+
+
+def _gemm_numpy(alpha, beta, C, A, B):
+    C[:] = alpha * (A @ B) + beta * C
+    return np.sum(C)
+
+
+def _gemm_program():
+    @repro.program
+    def gemm(alpha: repro.float64, beta: repro.float64, C: repro.float64[N, M],
+             A: repro.float64[N, K], B: repro.float64[K, M]):
+        C[:] = alpha * (A @ B) + beta * C
+        return np.sum(C)
+
+    return gemm
+
+
+def _gemm_jax(alpha, beta, C, A, B):
+    C = alpha * jnp.matmul(A, B) + beta * C
+    return jnp.sum(C)
+
+
+_spec("gemm", "linear algebra", {"S": {"N": 10, "M": 12, "K": 8},
+                                 "paper": {"N": 500, "M": 600, "K": 700}},
+      _gemm_init, _gemm_numpy, _gemm_program, _gemm_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- gemver
+def _gemver_init(N, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.1, "beta": 1.3, "A": positive(rng, N, N),
+            "u1": positive(rng, N), "v1": positive(rng, N),
+            "u2": positive(rng, N), "v2": positive(rng, N),
+            "w": np.zeros(N), "x": np.zeros(N), "y": positive(rng, N),
+            "z": positive(rng, N)}
+
+
+def _gemver_numpy(alpha, beta, A, u1, v1, u2, v2, w, x, y, z):
+    A[:] = A + np.outer(u1, v1) + np.outer(u2, v2)
+    x[:] = x + beta * (A.T @ y) + z
+    w[:] = w + alpha * (A @ x)
+    return np.sum(w)
+
+
+def _gemver_program():
+    @repro.program
+    def gemver(alpha: repro.float64, beta: repro.float64, A: repro.float64[N, N],
+               u1: repro.float64[N], v1: repro.float64[N], u2: repro.float64[N],
+               v2: repro.float64[N], w: repro.float64[N], x: repro.float64[N],
+               y: repro.float64[N], z: repro.float64[N]):
+        A[:] = A + np.outer(u1, v1) + np.outer(u2, v2)
+        x[:] = x + beta * (A.T @ y) + z
+        w[:] = w + alpha * (A @ x)
+        return np.sum(w)
+
+    return gemver
+
+
+def _gemver_jax(alpha, beta, A, u1, v1, u2, v2, w, x, y, z):
+    A = A + jnp.outer(u1, v1) + jnp.outer(u2, v2)
+    x = x + beta * jnp.matmul(jnp.transpose(A), y) + z
+    w = w + alpha * jnp.matmul(A, x)
+    return jnp.sum(w)
+
+
+_spec("gemver", "linear algebra", {"S": {"N": 12}, "paper": {"N": 1000}},
+      _gemver_init, _gemver_numpy, _gemver_program, _gemver_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- gesummv
+def _gesummv_init(N, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.2, "beta": 1.4, "A": positive(rng, N, N),
+            "B": positive(rng, N, N), "x": positive(rng, N)}
+
+
+def _gesummv_numpy(alpha, beta, A, B, x):
+    y = alpha * (A @ x) + beta * (B @ x)
+    return np.sum(y)
+
+
+def _gesummv_program():
+    @repro.program
+    def gesummv(alpha: repro.float64, beta: repro.float64, A: repro.float64[N, N],
+                B: repro.float64[N, N], x: repro.float64[N]):
+        y = alpha * (A @ x) + beta * (B @ x)
+        return np.sum(y)
+
+    return gesummv
+
+
+def _gesummv_jax(alpha, beta, A, B, x):
+    y = alpha * jnp.matmul(A, x) + beta * jnp.matmul(B, x)
+    return jnp.sum(y)
+
+
+_spec("gesummv", "linear algebra", {"S": {"N": 14}, "paper": {"N": 1100}},
+      _gesummv_init, _gesummv_numpy, _gesummv_program, _gesummv_jax, wrt="x")
+
+
+# --------------------------------------------------------------------------- k2mm
+def _k2mm_init(N, M, K, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.5, "beta": 1.2, "A": positive(rng, N, K), "B": positive(rng, K, M),
+            "C": positive(rng, M, N), "D": positive(rng, N, N)}
+
+
+def _k2mm_numpy(alpha, beta, A, B, C, D):
+    D[:] = alpha * A @ B @ C + beta * D
+    return np.sum(D)
+
+
+def _k2mm_program():
+    @repro.program
+    def k2mm(alpha: repro.float64, beta: repro.float64, A: repro.float64[N, K],
+             B: repro.float64[K, M], C: repro.float64[M, N], D: repro.float64[N, N]):
+        D[:] = alpha * A @ B @ C + beta * D
+        return np.sum(D)
+
+    return k2mm
+
+
+def _k2mm_jax(alpha, beta, A, B, C, D):
+    D = alpha * jnp.matmul(jnp.matmul(A, B), C) + beta * D
+    return jnp.sum(D)
+
+
+_spec("k2mm", "linear algebra", {"S": {"N": 8, "M": 10, "K": 12},
+                                 "paper": {"N": 400, "M": 450, "K": 500}},
+      _k2mm_init, _k2mm_numpy, _k2mm_program, _k2mm_jax, wrt="A", paper_speedup=1.3)
+
+
+# --------------------------------------------------------------------------- k3mm
+def _k3mm_init(N, M, K, seed=42):
+    rng = rng_for(seed)
+    return {"A": positive(rng, N, K), "B": positive(rng, K, M),
+            "C": positive(rng, M, K), "D": positive(rng, K, N)}
+
+
+def _k3mm_numpy(A, B, C, D):
+    E = A @ B @ C @ D
+    return np.sum(E)
+
+
+def _k3mm_program():
+    @repro.program
+    def k3mm(A: repro.float64[N, K], B: repro.float64[K, M], C: repro.float64[M, K],
+             D: repro.float64[K, N]):
+        E = A @ B @ C @ D
+        return np.sum(E)
+
+    return k3mm
+
+
+def _k3mm_jax(A, B, C, D):
+    E = jnp.matmul(jnp.matmul(jnp.matmul(A, B), C), D)
+    return jnp.sum(E)
+
+
+_spec("k3mm", "linear algebra", {"S": {"N": 8, "M": 9, "K": 10},
+                                 "paper": {"N": 400, "M": 450, "K": 500}},
+      _k3mm_init, _k3mm_numpy, _k3mm_program, _k3mm_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- mvt
+def _mvt_init(N, seed=42):
+    rng = rng_for(seed)
+    return {"x1": positive(rng, N), "x2": positive(rng, N), "y1": positive(rng, N),
+            "y2": positive(rng, N), "A": positive(rng, N, N)}
+
+
+def _mvt_numpy(x1, x2, y1, y2, A):
+    x1[:] = x1 + A @ y1
+    x2[:] = x2 + A.T @ y2
+    return np.sum(x1) + np.sum(x2)
+
+
+def _mvt_program():
+    @repro.program
+    def mvt(x1: repro.float64[N], x2: repro.float64[N], y1: repro.float64[N],
+            y2: repro.float64[N], A: repro.float64[N, N]):
+        x1[:] = x1 + A @ y1
+        x2[:] = x2 + A.T @ y2
+        return np.sum(x1) + np.sum(x2)
+
+    return mvt
+
+
+def _mvt_jax(x1, x2, y1, y2, A):
+    x1 = x1 + jnp.matmul(A, y1)
+    x2 = x2 + jnp.matmul(jnp.transpose(A), y2)
+    return jnp.sum(x1) + jnp.sum(x2)
+
+
+_spec("mvt", "linear algebra", {"S": {"N": 14}, "paper": {"N": 1200}},
+      _mvt_init, _mvt_numpy, _mvt_program, _mvt_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- doitgen
+def _doitgen_init(NQ, NP, seed=42):
+    rng = rng_for(seed)
+    return {"A": positive(rng, NQ, NP), "C4": positive(rng, NP, NP)}
+
+
+def _doitgen_numpy(A, C4):
+    B = A @ C4
+    return np.sum(B * B)
+
+
+def _doitgen_program():
+    @repro.program
+    def doitgen(A: repro.float64[NQ, NP], C4: repro.float64[NP, NP]):
+        B = A @ C4
+        return np.sum(B * B)
+
+    return doitgen
+
+
+def _doitgen_jax(A, C4):
+    B = jnp.matmul(A, C4)
+    return jnp.sum(B * B)
+
+
+_spec("doitgen", "linear algebra", {"S": {"NQ": 10, "NP": 12}, "paper": {"NQ": 500, "NP": 512}},
+      _doitgen_init, _doitgen_numpy, _doitgen_program, _doitgen_jax, wrt="A",
+      notes="simplified to its matrix-product core (the NPBench kernel batches this "
+            "product over NR slices)")
+
+
+# --------------------------------------------------------------------------- covariance
+def _covariance_init(M, N, seed=42):
+    rng = rng_for(seed)
+    return {"data": positive(rng, N, M)}
+
+
+def _covariance_numpy(data):
+    mean = np.mean(data, axis=0)
+    centered = data - mean
+    cov = centered.T @ centered / (data.shape[0] - 1.0)
+    return np.sum(cov)
+
+
+def _covariance_program():
+    @repro.program
+    def covariance(data: repro.float64[N, M]):
+        mean = np.sum(data, axis=0) / N
+        centered = data - mean
+        cov = centered.T @ centered / (N - 1.0)
+        return np.sum(cov)
+
+    return covariance
+
+
+def _covariance_jax(data):
+    mean = jnp.sum(data, axis=0) / data.shape[0]
+    centered = data - mean
+    cov = jnp.matmul(jnp.transpose(centered), centered) / (data.shape[0] - 1.0)
+    return jnp.sum(cov)
+
+
+_spec("covariance", "statistics", {"S": {"M": 8, "N": 12}, "paper": {"M": 500, "N": 600}},
+      _covariance_init, _covariance_numpy, _covariance_program, _covariance_jax, wrt="data")

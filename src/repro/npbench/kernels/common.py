@@ -1,0 +1,39 @@
+"""Shared helpers for kernel definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import jaxlike
+from repro.baselines.jaxlike import numpy_api as jnp
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def positive(rng: np.random.Generator, *shape, dtype=np.float64) -> np.ndarray:
+    """Random values bounded away from zero (safe for divisions/logs/sqrt)."""
+    return (rng.random(shape) + 0.1).astype(dtype)
+
+
+def jax_gradient(fn, data: dict, wrt: str):
+    """Compute (value, gradient) of ``fn(**data)`` w.r.t. ``data[wrt]`` with the
+    jaxlike baseline.  Arrays are converted to immutable DeviceArrays."""
+    names = list(data)
+    wrt_index = names.index(wrt)
+
+    def positional(*args):
+        kwargs = {}
+        for name, arg in zip(names, args):
+            if isinstance(arg, np.ndarray):
+                kwargs[name] = jaxlike.asarray(arg)
+            elif isinstance(arg, jaxlike.DeviceArray):
+                kwargs[name] = arg
+            else:
+                kwargs[name] = arg
+        return fn(**kwargs)
+
+    args = [v for v in data.values()]
+    value, gradient = jaxlike.value_and_grad(positional, argnums=wrt_index)(*args)
+    return float(value), np.asarray(gradient)

@@ -1,0 +1,246 @@
+"""Deep-learning kernels (softmax, mlp, conv2d, lenet, resnet).
+
+``softmax`` is a plain NumPy program (python frontend); the network kernels
+are built through the ML frontend (:mod:`repro.ml`), which plays the role of
+the DaCeML ONNX path in the paper.  All use float32, like NPBench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.baselines.jaxlike import numpy_api as jnp
+from repro.ml import lenet5, mlp as make_mlp, resnet_block
+from repro.ml.models import conv_relu
+from repro.ml import ops
+from repro.npbench.kernels.common import jax_gradient, rng_for
+from repro.npbench.registry import KernelSpec, register_kernel
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+
+
+# --------------------------------------------------------------------------- softmax
+def _softmax_init(N, M, seed=42):
+    rng = rng_for(seed)
+    return {"x": rng.random((N, M)).astype(np.float32)}
+
+
+def _softmax_numpy(x):
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / np.sum(exp, axis=-1, keepdims=True)
+    return np.sum(out * out)
+
+
+def _softmax_program():
+    @repro.program
+    def softmax(x: repro.float32[N, M]):
+        shifted = x - np.max(x, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / np.sum(exp, axis=-1, keepdims=True)
+        return np.sum(out * out)
+
+    return softmax
+
+
+def _softmax_jax(x):
+    shifted = x - jnp.max(x, axis=-1, keepdims=True)
+    exp = jnp.exp(shifted)
+    out = exp / jnp.sum(exp, axis=-1, keepdims=True)
+    return jnp.sum(out * out)
+
+
+register_kernel(KernelSpec(
+    name="softmax", category="vectorized", domain="deep learning",
+    sizes={"S": {"N": 4, "M": 6}, "paper": {"N": 512, "M": 1000}},
+    initialize=_softmax_init, numpy_fn=_softmax_numpy, make_program=_softmax_program,
+    jaxlike_grad=lambda data, wrt: jax_gradient(_softmax_jax, data, wrt),
+    wrt="x", dtype=np.dtype(np.float32),
+))
+
+
+# --------------------------------------------------------------------------- ML models
+def _model_spec(name, model_factory, input_shape_fn, sizes, paper_speedup=None,
+                jax_forward=None, notes=""):
+    """Register a network kernel built through the ML frontend."""
+
+    def initialize(seed=42, **size):
+        model = model_factory()
+        shape = input_shape_fn(size)
+        model.build_sdfg(shape, dtype=np.float32)
+        params = model.init_parameters(seed=seed, dtype=np.float32)
+        rng = rng_for(seed)
+        data = {"x": rng.random(shape).astype(np.float32)}
+        data.update(params)
+        return data
+
+    def numpy_fn(x, **params):
+        return _numpy_forward(name, x, params)
+
+    def make_program(**size):
+        model = model_factory()
+        shape = input_shape_fn(size)
+        sdfg = model.build_sdfg(shape, dtype=np.float32)
+        return _SDFGProgram(sdfg)
+
+    jaxlike = None
+    if jax_forward is not None:
+        jaxlike = lambda data, wrt: jax_gradient(jax_forward, data, wrt)  # noqa: E731
+
+    return register_kernel(KernelSpec(
+        name=name, category="ml", domain="deep learning", sizes=sizes,
+        initialize=initialize, numpy_fn=numpy_fn, make_program=make_program,
+        jaxlike_grad=jaxlike, wrt="x", dtype=np.dtype(np.float32),
+        paper_speedup=paper_speedup, notes=notes,
+    ))
+
+
+class _SDFGProgram:
+    """Adapter giving Model-built SDFGs the same surface as @repro.program."""
+
+    def __init__(self, sdfg) -> None:
+        self._sdfg = sdfg
+        self.func = None
+
+    def to_sdfg(self):
+        return self._sdfg
+
+    @property
+    def sdfg(self):
+        return self._sdfg
+
+    def __call__(self, *args, **kwargs):
+        from repro.codegen import compile_sdfg
+
+        return compile_sdfg(self._sdfg)(*args, **kwargs)
+
+
+# NumPy reference forwards (used by the integration tests) -----------------------
+def _numpy_forward(name, x, params):
+    if name == "conv2d":
+        out = ops.relu(ops.conv2d(x, params["conv_w"], params["conv_b"]))
+        return float(np.sum(out))
+    if name == "mlp":
+        h = x
+        index = 0
+        while f"d{index}_w" in params:
+            h = ops.relu(h @ params[f"d{index}_w"] + params[f"d{index}_b"])
+            index += 1
+        h = h @ params["d_out_w"] + params["d_out_b"]
+        return float(np.sum(ops.softmax(h)))
+    if name == "lenet":
+        h = ops.relu(ops.conv2d(x, params["c1_w"], params["c1_b"]))
+        h = ops.maxpool2d(h, 2)
+        h = ops.relu(ops.conv2d(h, params["c2_w"], params["c2_b"]))
+        h = ops.maxpool2d(h, 2)
+        h = h.reshape(h.shape[0], -1)
+        h = ops.relu(h @ params["f3_w"] + params["f3_b"])
+        h = ops.relu(h @ params["f4_w"] + params["f4_b"])
+        h = h @ params["f5_w"] + params["f5_b"]
+        return float(np.sum(h))
+    if name == "resnet":
+        y = ops.relu(ops.conv2d(x, params["rb_c1_w"], params["rb_c1_b"], padding=1))
+        y = ops.conv2d(y, params["rb_c2_w"], params["rb_c2_b"], padding=1)
+        out = ops.relu(y + x)
+        return float(np.sum(out))
+    raise KeyError(name)
+
+
+# jaxlike forwards --------------------------------------------------------------
+def _jax_conv2d(x, w, b, padding=0):
+    n, h, wd, _ = x.shape
+    kh, kw, cin, f = w.shape
+    if padding:
+        padded = jnp.zeros((n, h + 2 * padding, wd + 2 * padding, cin))
+        from repro.baselines.jaxlike import lax
+
+        x = lax.dynamic_update_slice(padded, x, (0, padding, padding, 0))
+        h, wd = h + 2 * padding, wd + 2 * padding
+    out_h, out_w = h - kh + 1, wd - kw + 1
+    out = jnp.zeros((n, out_h, out_w, f))
+    for a in range(kh):
+        for c in range(kw):
+            window = x[:, a:a + out_h, c:c + out_w, :]
+            flat = jnp.reshape(window, (n * out_h * out_w, cin))
+            out = out + jnp.reshape(jnp.matmul(flat, w[a, c]), (n, out_h, out_w, f))
+    return out + b
+
+
+def _jax_maxpool(x, window=2):
+    n, h, w, c = x.shape
+    oh, ow = h // window, w // window
+    reshaped = jnp.reshape(x[:, :oh * window, :ow * window, :], (n, oh, window, ow, window, c))
+    return jnp.max(jnp.max(reshaped, axis=4), axis=2)
+
+
+def _jax_relu(x):
+    return jnp.maximum(x, 0.0)
+
+
+def _jax_softmax(x):
+    shifted = x - jnp.max(x, axis=-1, keepdims=True)
+    exp = jnp.exp(shifted)
+    return exp / jnp.sum(exp, axis=-1, keepdims=True)
+
+
+def _conv2d_jax(x, conv_w, conv_b):
+    return jnp.sum(_jax_relu(_jax_conv2d(x, conv_w, conv_b)))
+
+
+def _mlp_jax(x, **params):
+    h = x
+    index = 0
+    while f"d{index}_w" in params:
+        h = _jax_relu(jnp.matmul(h, params[f"d{index}_w"]) + params[f"d{index}_b"])
+        index += 1
+    h = jnp.matmul(h, params["d_out_w"]) + params["d_out_b"]
+    return jnp.sum(_jax_softmax(h))
+
+
+def _lenet_jax(x, **params):
+    h = _jax_relu(_jax_conv2d(x, params["c1_w"], params["c1_b"]))
+    h = _jax_maxpool(h, 2)
+    h = _jax_relu(_jax_conv2d(h, params["c2_w"], params["c2_b"]))
+    h = _jax_maxpool(h, 2)
+    h = jnp.reshape(h, (h.shape[0], -1))
+    h = _jax_relu(jnp.matmul(h, params["f3_w"]) + params["f3_b"])
+    h = _jax_relu(jnp.matmul(h, params["f4_w"]) + params["f4_b"])
+    h = jnp.matmul(h, params["f5_w"]) + params["f5_b"]
+    return jnp.sum(h)
+
+
+def _resnet_jax(x, **params):
+    y = _jax_relu(_jax_conv2d(x, params["rb_c1_w"], params["rb_c1_b"], padding=1))
+    y = _jax_conv2d(y, params["rb_c2_w"], params["rb_c2_b"], padding=1)
+    return jnp.sum(_jax_relu(y + x))
+
+
+_model_spec(
+    "conv2d", lambda: conv_relu(out_channels=4, kernel=3, name="conv2d_kernel"),
+    lambda size: (size["batch"], size["H"], size["H"], size["C"]),
+    sizes={"S": {"batch": 1, "H": 6, "C": 2}, "paper": {"batch": 4, "H": 32, "C": 3}},
+    paper_speedup=3.28, jax_forward=_conv2d_jax,
+)
+
+_model_spec(
+    "mlp", lambda: make_mlp(hidden=(32, 16), num_classes=10, name="mlp_kernel"),
+    lambda size: (size["batch"], size["features"]),
+    sizes={"S": {"batch": 2, "features": 8}, "paper": {"batch": 64, "features": 256}},
+    jax_forward=_mlp_jax,
+)
+
+_model_spec(
+    "lenet", lambda: lenet5(num_classes=10, name="lenet_kernel"),
+    lambda size: (size["batch"], size["H"], size["H"], 1),
+    sizes={"S": {"batch": 1, "H": 28}, "paper": {"batch": 4, "H": 28}},
+    paper_speedup=1.3, jax_forward=_lenet_jax,
+)
+
+_model_spec(
+    "resnet", lambda: resnet_block(channels=4, name="resnet_kernel"),
+    lambda size: (size["batch"], size["H"], size["H"], 4),
+    sizes={"S": {"batch": 1, "H": 6}, "paper": {"batch": 4, "H": 16}},
+    paper_speedup=0.98, jax_forward=_resnet_jax,
+)

@@ -1,0 +1,506 @@
+"""Loop-based linear-algebra kernels (triangular updates, factorisations).
+
+These are the programs where the paper reports its largest speedups: long
+sequential loops with small per-iteration updates, which the jaxlike baseline
+must express through functional updates (one array copy per iteration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.baselines.jaxlike import lax
+from repro.baselines.jaxlike import numpy_api as jnp
+from repro.npbench.kernels.common import jax_gradient, positive, rng_for
+from repro.npbench.registry import KernelSpec, register_kernel
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+
+
+def _spec(name, domain, sizes, initialize, numpy_fn, make_program, jax_fn, wrt,
+          paper_speedup=None, notes=""):
+    return register_kernel(KernelSpec(
+        name=name, category="nonvectorized", domain=domain, sizes=sizes,
+        initialize=initialize, numpy_fn=numpy_fn, make_program=make_program,
+        jaxlike_grad=lambda data, wrt_name: jax_gradient(jax_fn, data, wrt_name),
+        wrt=wrt, paper_speedup=paper_speedup, notes=notes,
+    ))
+
+
+# --------------------------------------------------------------------------- trmm
+def _trmm_init(M, N, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.3, "A": positive(rng, M, M), "B": positive(rng, M, N)}
+
+
+def _trmm_numpy(alpha, A, B):
+    m = B.shape[0]
+    for i in range(m):
+        for j in range(B.shape[1]):
+            B[i, j] += A[i + 1:, i] @ B[i + 1:, j]
+    B *= alpha
+    return np.sum(B)
+
+
+def _trmm_program():
+    @repro.program
+    def trmm(alpha: repro.float64, A: repro.float64[M, M], B: repro.float64[M, N]):
+        for i in range(M):
+            for j in range(N):
+                B[i, j] += A[i + 1:, i] @ B[i + 1:, j]
+        B *= alpha
+        return np.sum(B)
+
+    return trmm
+
+
+def _trmm_jax(alpha, A, B):
+    m, n = B.shape
+    for i in range(m):
+        for j in range(n):
+            segment_a = lax.dynamic_slice(A[:, i], (i + 1,), (m - i - 1,)) if i + 1 < m \
+                else jnp.zeros((0,))
+            segment_b = lax.dynamic_slice(B[:, j], (i + 1,), (m - i - 1,)) if i + 1 < m \
+                else jnp.zeros((0,))
+            if i + 1 < m:
+                value = B[i, j] + jnp.sum(segment_a * segment_b)
+            else:
+                value = B[i, j]
+            B = B.at[i, j].set(value)
+    B = B * alpha
+    return jnp.sum(B)
+
+
+_spec("trmm", "linear algebra", {"S": {"M": 6, "N": 5}, "paper": {"M": 60, "N": 60}},
+      _trmm_init, _trmm_numpy, _trmm_program, _trmm_jax, wrt="B", paper_speedup=227.09)
+
+
+# --------------------------------------------------------------------------- syrk
+def _syrk_init(N, M, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.2, "beta": 1.4, "C": positive(rng, N, N), "A": positive(rng, N, M)}
+
+
+def _syrk_numpy(alpha, beta, C, A):
+    n = C.shape[0]
+    for i in range(n):
+        C[i, :i + 1] *= beta
+        for k in range(A.shape[1]):
+            C[i, :i + 1] += alpha * A[i, k] * A[:i + 1, k]
+    return np.sum(C)
+
+
+def _syrk_program():
+    @repro.program
+    def syrk(alpha: repro.float64, beta: repro.float64, C: repro.float64[N, N],
+             A: repro.float64[N, M]):
+        for i in range(N):
+            C[i, :i + 1] *= beta
+            for k in range(M):
+                C[i, :i + 1] += alpha * A[i, k] * A[:i + 1, k]
+        return np.sum(C)
+
+    return syrk
+
+
+def _syrk_jax(alpha, beta, C, A):
+    n, m = A.shape
+    for i in range(n):
+        row = lax.dynamic_slice(C[i, :], (0,), (i + 1,)) * beta
+        for k in range(m):
+            row = row + alpha * A[i, k] * lax.dynamic_slice(A[:, k], (0,), (i + 1,))
+        C = lax.dynamic_update_slice(C, jnp.reshape(row, (1, i + 1)), (i, 0))
+    return jnp.sum(C)
+
+
+_spec("syrk", "linear algebra", {"S": {"N": 6, "M": 5}, "paper": {"N": 70, "M": 60}},
+      _syrk_init, _syrk_numpy, _syrk_program, _syrk_jax, wrt="A", paper_speedup=11.97)
+
+
+# --------------------------------------------------------------------------- syr2k
+def _syr2k_init(N, M, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.1, "beta": 1.3, "C": positive(rng, N, N),
+            "A": positive(rng, N, M), "B": positive(rng, N, M)}
+
+
+def _syr2k_numpy(alpha, beta, C, A, B):
+    n = C.shape[0]
+    for i in range(n):
+        C[i, :i + 1] *= beta
+        for k in range(A.shape[1]):
+            C[i, :i + 1] += A[:i + 1, k] * alpha * B[i, k] + B[:i + 1, k] * alpha * A[i, k]
+    return np.sum(C)
+
+
+def _syr2k_program():
+    @repro.program
+    def syr2k(alpha: repro.float64, beta: repro.float64, C: repro.float64[N, N],
+              A: repro.float64[N, M], B: repro.float64[N, M]):
+        for i in range(N):
+            C[i, :i + 1] *= beta
+            for k in range(M):
+                C[i, :i + 1] += A[:i + 1, k] * alpha * B[i, k] + B[:i + 1, k] * alpha * A[i, k]
+        return np.sum(C)
+
+    return syr2k
+
+
+def _syr2k_jax(alpha, beta, C, A, B):
+    n, m = A.shape
+    for i in range(n):
+        row = lax.dynamic_slice(C[i, :], (0,), (i + 1,)) * beta
+        for k in range(m):
+            row = row + (lax.dynamic_slice(A[:, k], (0,), (i + 1,)) * alpha * B[i, k]
+                         + lax.dynamic_slice(B[:, k], (0,), (i + 1,)) * alpha * A[i, k])
+        C = lax.dynamic_update_slice(C, jnp.reshape(row, (1, i + 1)), (i, 0))
+    return jnp.sum(C)
+
+
+_spec("syr2k", "linear algebra", {"S": {"N": 6, "M": 5}, "paper": {"N": 60, "M": 50}},
+      _syr2k_init, _syr2k_numpy, _syr2k_program, _syr2k_jax, wrt="A", paper_speedup=7.68)
+
+
+# --------------------------------------------------------------------------- symm
+def _symm_init(M, N, seed=42):
+    rng = rng_for(seed)
+    return {"alpha": 1.1, "beta": 1.2, "C": positive(rng, M, N),
+            "A": positive(rng, M, M), "B": positive(rng, M, N)}
+
+
+def _symm_numpy(alpha, beta, C, A, B):
+    m, n = C.shape
+    temp2 = np.zeros((n,))
+    for i in range(m):
+        temp2[:] = 0.0
+        for k in range(i):
+            C[k, :] += alpha * B[i, :] * A[i, k]
+            temp2[:] += B[k, :] * A[i, k]
+        C[i, :] = beta * C[i, :] + alpha * B[i, :] * A[i, i] + alpha * temp2
+    return np.sum(C)
+
+
+def _symm_program():
+    @repro.program
+    def symm(alpha: repro.float64, beta: repro.float64, C: repro.float64[M, N],
+             A: repro.float64[M, M], B: repro.float64[M, N]):
+        temp2 = np.zeros((N,))
+        for i in range(M):
+            temp2[:] = 0.0
+            for k in range(i):
+                C[k, :] += alpha * B[i, :] * A[i, k]
+                temp2[:] += B[k, :] * A[i, k]
+            C[i, :] = beta * C[i, :] + alpha * B[i, :] * A[i, i] + alpha * temp2
+        return np.sum(C)
+
+    return symm
+
+
+def _symm_jax(alpha, beta, C, A, B):
+    m, n = B.shape
+    for i in range(m):
+        temp2 = jnp.zeros((n,))
+        for k in range(i):
+            C = C.at[k, :].add(alpha * B[i, :] * A[i, k])
+            temp2 = temp2 + B[k, :] * A[i, k]
+        C = C.at[i, :].set(beta * C[i, :] + alpha * B[i, :] * A[i, i] + alpha * temp2)
+    return jnp.sum(C)
+
+
+_spec("symm", "linear algebra", {"S": {"M": 6, "N": 5}, "paper": {"M": 60, "N": 60}},
+      _symm_init, _symm_numpy, _symm_program, _symm_jax, wrt="A", paper_speedup=8.54)
+
+
+# --------------------------------------------------------------------------- gramschmidt
+def _gramschmidt_init(M, N, seed=42):
+    rng = rng_for(seed)
+    # Well-conditioned input: add identity-ish diagonal dominance.
+    A = positive(rng, M, N)
+    A[:N, :N] += np.eye(N)
+    return {"A": A}
+
+
+def _gramschmidt_numpy(A):
+    m, n = A.shape
+    Q = np.zeros((m, n))
+    R = np.zeros((n, n))
+    for k in range(n):
+        nrm = np.sum(A[:, k] * A[:, k])
+        R[k, k] = np.sqrt(nrm)
+        Q[:, k] = A[:, k] / R[k, k]
+        for j in range(k + 1, n):
+            R[k, j] = Q[:, k] @ A[:, j]
+            A[:, j] -= Q[:, k] * R[k, j]
+    return np.sum(R) + np.sum(Q)
+
+
+def _gramschmidt_program():
+    @repro.program
+    def gramschmidt(A: repro.float64[M, N]):
+        Q = np.zeros((M, N))
+        R = np.zeros((N, N))
+        for k in range(N):
+            nrm = np.sum(A[:, k] * A[:, k])
+            R[k, k] = np.sqrt(nrm)
+            Q[:, k] = A[:, k] / R[k, k]
+            for j in range(k + 1, N):
+                R[k, j] = Q[:, k] @ A[:, j]
+                A[:, j] -= Q[:, k] * R[k, j]
+        return np.sum(R) + np.sum(Q)
+
+    return gramschmidt
+
+
+def _gramschmidt_jax(A):
+    m, n = A.shape
+    Q = jnp.zeros((m, n))
+    R = jnp.zeros((n, n))
+    for k in range(n):
+        nrm = jnp.sum(A[:, k] * A[:, k])
+        rkk = jnp.sqrt(nrm)
+        R = R.at[k, k].set(rkk)
+        Q = Q.at[:, k].set(A[:, k] / rkk)
+        for j in range(k + 1, n):
+            rkj = jnp.sum(Q[:, k] * A[:, j])
+            R = R.at[k, j].set(rkj)
+            A = A.at[:, j].add(-(Q[:, k] * rkj))
+    return jnp.sum(R) + jnp.sum(Q)
+
+
+_spec("gramschmidt", "linear algebra", {"S": {"M": 7, "N": 5}, "paper": {"M": 60, "N": 50}},
+      _gramschmidt_init, _gramschmidt_numpy, _gramschmidt_program, _gramschmidt_jax,
+      wrt="A", paper_speedup=6.0)
+
+
+# --------------------------------------------------------------------------- cholesky
+def _cholesky_init(N, seed=42):
+    rng = rng_for(seed)
+    A = positive(rng, N, N)
+    A = A @ A.T + N * np.eye(N)  # symmetric positive definite
+    return {"A": A}
+
+
+def _cholesky_numpy(A):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[j, :j]
+            A[i, j] /= A[j, j]
+        A[i, i] -= A[i, :i] @ A[i, :i]
+        A[i, i] = np.sqrt(A[i, i])
+    return np.sum(A)
+
+
+def _cholesky_program():
+    @repro.program
+    def cholesky(A: repro.float64[N, N]):
+        for i in range(N):
+            for j in range(i):
+                A[i, j] -= A[i, :j] @ A[j, :j]
+                A[i, j] /= A[j, j]
+            A[i, i] -= A[i, :i] @ A[i, :i]
+            A[i, i] = np.sqrt(A[i, i])
+        return np.sum(A)
+
+    return cholesky
+
+
+def _cholesky_jax(A):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            if j > 0:
+                dot = jnp.sum(lax.dynamic_slice(A[i, :], (0,), (j,))
+                              * lax.dynamic_slice(A[j, :], (0,), (j,)))
+            else:
+                dot = 0.0
+            A = A.at[i, j].set((A[i, j] - dot) / A[j, j])
+        if i > 0:
+            dot = jnp.sum(lax.dynamic_slice(A[i, :], (0,), (i,))
+                          * lax.dynamic_slice(A[i, :], (0,), (i,)))
+        else:
+            dot = 0.0
+        A = A.at[i, i].set(jnp.sqrt(A[i, i] - dot))
+    return jnp.sum(A)
+
+
+_spec("cholesky", "linear algebra", {"S": {"N": 6}, "paper": {"N": 60}},
+      _cholesky_init, _cholesky_numpy, _cholesky_program, _cholesky_jax, wrt="A")
+
+
+# --------------------------------------------------------------------------- trisolv
+def _trisolv_init(N, seed=42):
+    rng = rng_for(seed)
+    L = np.tril(positive(rng, N, N)) + N * np.eye(N)
+    return {"L": L, "b": positive(rng, N), "x": np.zeros(N)}
+
+
+def _trisolv_numpy(L, b, x):
+    n = L.shape[0]
+    for i in range(n):
+        x[i] = (b[i] - L[i, :i] @ x[:i]) / L[i, i]
+    return np.sum(x)
+
+
+def _trisolv_program():
+    @repro.program
+    def trisolv(L: repro.float64[N, N], b: repro.float64[N], x: repro.float64[N]):
+        for i in range(N):
+            x[i] = (b[i] - L[i, :i] @ x[:i]) / L[i, i]
+        return np.sum(x)
+
+    return trisolv
+
+
+def _trisolv_jax(L, b, x):
+    n = x.shape[0]
+    for i in range(n):
+        if i > 0:
+            dot = jnp.sum(lax.dynamic_slice(L[i, :], (0,), (i,))
+                          * lax.dynamic_slice(x, (0,), (i,)))
+        else:
+            dot = 0.0
+        x = x.at[i].set((b[i] - dot) / L[i, i])
+    return jnp.sum(x)
+
+
+_spec("trisolv", "linear algebra", {"S": {"N": 7}, "paper": {"N": 120}},
+      _trisolv_init, _trisolv_numpy, _trisolv_program, _trisolv_jax, wrt="b")
+
+
+# --------------------------------------------------------------------------- durbin
+def _durbin_init(N, seed=42):
+    rng = rng_for(seed)
+    return {"r": positive(rng, N) * 0.1}
+
+
+def _durbin_program():
+    # The reversed slices of the reference (r[k-1::-1]) are outside the
+    # frontend's slice support; the program uses an explicit inner loop, which
+    # is the same computation (and is how the Fortran original is written).
+    @repro.program
+    def durbin(r: repro.float64[N]):
+        y = np.zeros((N,))
+        z = np.zeros((N,))
+        y[0] = -r[0]
+        alpha = -r[0]
+        beta = 1.0
+        for k in range(1, N):
+            beta = beta * (1.0 - alpha * alpha)
+            summed = r[k]
+            for i in range(k):
+                summed += r[k - i - 1] * y[i]
+            alpha = -summed / beta
+            for i in range(k):
+                z[i] = y[i] + alpha * y[k - i - 1]
+            for i in range(k):
+                y[i] = z[i]
+            y[k] = alpha
+        return np.sum(y)
+
+    return durbin
+
+
+def _durbin_numpy_loop(r):
+    n = r.shape[0]
+    y = np.zeros(n)
+    z = np.zeros(n)
+    y[0] = -r[0]
+    alpha = -r[0]
+    beta = 1.0
+    for k in range(1, n):
+        beta = beta * (1.0 - alpha * alpha)
+        summed = r[k]
+        for i in range(k):
+            summed += r[k - i - 1] * y[i]
+        alpha = -summed / beta
+        for i in range(k):
+            z[i] = y[i] + alpha * y[k - i - 1]
+        for i in range(k):
+            y[i] = z[i]
+        y[k] = alpha
+    return np.sum(y)
+
+
+def _durbin_jax(r):
+    n = r.shape[0]
+    y = jnp.zeros((n,))
+    y = y.at[0].set(-r[0])
+    alpha = -r[0]
+    beta = jnp.ones(())
+    for k in range(1, n):
+        beta = beta * (1.0 - alpha * alpha)
+        summed = r[k]
+        for i in range(k):
+            summed = summed + r[k - i - 1] * y[i]
+        alpha = -summed / beta
+        z = jnp.zeros((n,))
+        for i in range(k):
+            z = z.at[i].set(y[i] + alpha * y[k - i - 1])
+        for i in range(k):
+            y = y.at[i].set(z[i])
+        y = y.at[k].set(alpha)
+    return jnp.sum(y)
+
+
+_spec("durbin", "linear algebra", {"S": {"N": 7}, "paper": {"N": 60}},
+      _durbin_init, _durbin_numpy_loop, _durbin_program, _durbin_jax, wrt="r")
+
+
+# --------------------------------------------------------------------------- lu
+def _lu_init(N, seed=42):
+    rng = rng_for(seed)
+    A = positive(rng, N, N)
+    A = A @ A.T + N * np.eye(N)
+    return {"A": A}
+
+
+def _lu_numpy(A):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] -= A[i, :j] @ A[:j, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, n):
+            A[i, j] -= A[i, :i] @ A[:i, j]
+    return np.sum(A)
+
+
+def _lu_program():
+    @repro.program
+    def lu(A: repro.float64[N, N]):
+        for i in range(N):
+            for j in range(i):
+                A[i, j] -= A[i, :j] @ A[:j, j]
+                A[i, j] /= A[j, j]
+            for j in range(i, N):
+                A[i, j] -= A[i, :i] @ A[:i, j]
+        return np.sum(A)
+
+    return lu
+
+
+def _lu_jax(A):
+    n = A.shape[0]
+    for i in range(n):
+        for j in range(i):
+            if j > 0:
+                dot = jnp.sum(lax.dynamic_slice(A[i, :], (0,), (j,))
+                              * lax.dynamic_slice(A[:, j], (0,), (j,)))
+            else:
+                dot = 0.0
+            A = A.at[i, j].set((A[i, j] - dot) / A[j, j])
+        for j in range(i, n):
+            if i > 0:
+                dot = jnp.sum(lax.dynamic_slice(A[i, :], (0,), (i,))
+                              * lax.dynamic_slice(A[:, j], (0,), (i,)))
+            else:
+                dot = 0.0
+            A = A.at[i, j].set(A[i, j] - dot)
+    return jnp.sum(A)
+
+
+_spec("lu", "linear algebra", {"S": {"N": 6}, "paper": {"N": 60}},
+      _lu_init, _lu_numpy, _lu_program, _lu_jax, wrt="A")

@@ -1,0 +1,27 @@
+"""Analysis and optimisation passes over SDFGs.
+
+* :mod:`repro.passes.flops` - static floating-point-operation counts, the
+  recomputation cost model of the ILP checkpointing formulation (Section IV-A:
+  "we use the number of floating point operations to estimate the
+  recomputation cost").
+* :mod:`repro.passes.memory` - container sizes and footprint summaries used by
+  the memory-measurement sequence.
+* :mod:`repro.passes.simplification` - dead code elimination and
+  constant-condition pruning (the paper's pre-AD cleanup of configuration
+  control flow).
+"""
+
+from repro.passes.flops import count_node_flops, count_sdfg_flops, count_state_flops
+from repro.passes.memory import container_size_bytes, total_argument_bytes, transient_footprint
+from repro.passes.simplification import eliminate_dead_code, prune_constant_branches
+
+__all__ = [
+    "count_node_flops",
+    "count_state_flops",
+    "count_sdfg_flops",
+    "container_size_bytes",
+    "transient_footprint",
+    "total_argument_bytes",
+    "eliminate_dead_code",
+    "prune_constant_branches",
+]

@@ -1,0 +1,30 @@
+"""Memory footprint helpers used by the ILP memory-measurement sequence."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir import SDFG
+
+
+def container_size_bytes(sdfg: SDFG, name: str, symbol_values: Mapping[str, int]) -> int:
+    """Size in bytes of one container for concrete symbol values."""
+    return sdfg.arrays[name].size_bytes(symbol_values)
+
+
+def transient_footprint(sdfg: SDFG, symbol_values: Mapping[str, int]) -> dict[str, int]:
+    """Bytes of every transient container."""
+    return {
+        name: desc.size_bytes(symbol_values)
+        for name, desc in sdfg.arrays.items()
+        if desc.transient
+    }
+
+
+def total_argument_bytes(sdfg: SDFG, symbol_values: Mapping[str, int]) -> int:
+    """Bytes of all non-transient (caller-provided) containers."""
+    return sum(
+        desc.size_bytes(symbol_values)
+        for desc in sdfg.arrays.values()
+        if not desc.transient
+    )

@@ -1,0 +1,114 @@
+"""Simplification passes: dead code elimination and constant-branch pruning.
+
+``prune_constant_branches`` is the reproduction of the paper's pre-AD
+transformation that removes configuration control flow ("much of the control
+flow is used to choose which model configuration is used and can be removed
+when executing a specific configuration", Section IV-B): once configuration
+symbols are substituted with concrete values, branches whose conditions fold
+to constants are resolved statically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.ir import (
+    ConditionalRegion,
+    ControlFlowRegion,
+    LoopRegion,
+    SDFG,
+    State,
+)
+from repro.symbolic import Const, substitute
+from repro.symbolic.simplify import simplify
+
+
+def eliminate_dead_code(sdfg: SDFG, keep: Optional[set[str]] = None) -> int:
+    """Remove compute nodes whose result can never reach an output.
+
+    ``keep`` is the set of containers that must be preserved (defaults to all
+    non-transient containers plus the return container).  Returns the number
+    of removed nodes.  The pass iterates to a fixed point.
+    """
+    if keep is None:
+        keep = {name for name, desc in sdfg.arrays.items() if not desc.transient}
+        return_name = getattr(sdfg, "return_name", None)
+        if return_name:
+            keep.add(return_name)
+
+    removed_total = 0
+    while True:
+        # Containers read anywhere (conservatively includes loop/branch bodies).
+        read_somewhere: set[str] = set(keep)
+        for state in sdfg.all_states():
+            for node in state:
+                read_somewhere |= node.read_data()
+                if node.output.accumulate:
+                    read_somewhere.add(node.output.data)
+        for conditional in sdfg.all_conditionals():
+            for condition, _ in conditional.branches:
+                if condition is not None:
+                    read_somewhere |= condition.free_symbols() & set(sdfg.arrays)
+
+        removed = 0
+        for state in sdfg.all_states():
+            kept_nodes = []
+            for node in state.nodes:
+                if node.output.data in read_somewhere:
+                    kept_nodes.append(node)
+                else:
+                    removed += 1
+            state.nodes = kept_nodes
+        removed_total += removed
+        if removed == 0:
+            break
+    return removed_total
+
+
+def prune_constant_branches(sdfg: SDFG, symbol_values: Optional[Mapping[str, object]] = None) -> int:
+    """Resolve conditionals whose conditions are compile-time constants.
+
+    ``symbol_values`` optionally binds configuration symbols before folding.
+    Returns the number of conditionals removed.
+    """
+    symbol_values = dict(symbol_values or {})
+    removed = 0
+
+    def process(region: ControlFlowRegion) -> None:
+        nonlocal removed
+        new_elements = []
+        for element in region.elements:
+            if isinstance(element, ConditionalRegion):
+                resolved = _resolve_conditional(element, symbol_values)
+                if resolved is None:
+                    for _, branch in element.branches:
+                        process(branch)
+                    new_elements.append(element)
+                else:
+                    removed += 1
+                    process(resolved)
+                    new_elements.extend(resolved.elements)
+            elif isinstance(element, LoopRegion):
+                process(element.body)
+                new_elements.append(element)
+            else:
+                new_elements.append(element)
+        region.elements = new_elements
+
+    process(sdfg.root)
+    return removed
+
+
+def _resolve_conditional(conditional: ConditionalRegion,
+                         symbol_values: Mapping[str, object]) -> Optional[ControlFlowRegion]:
+    """If every relevant condition folds to a constant, return the region of
+    the branch that will execute (possibly an empty region)."""
+    for condition, region in conditional.branches:
+        if condition is None:
+            return region
+        folded = simplify(substitute(condition, symbol_values))
+        if not isinstance(folded, Const):
+            return None
+        if bool(folded.value):
+            return region
+    return ControlFlowRegion(label="pruned_empty")

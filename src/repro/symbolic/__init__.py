@@ -1,0 +1,62 @@
+"""Minimal symbolic expression engine.
+
+DaCe AD performs *symbolic* reverse-mode differentiation of tasklets: the
+expression inside each fine-grained computation is differentiated
+symbolically, and the chain rule wires the pieces together (paper, Sections
+I-II).  The original system relies on sympy inside DaCe; this package
+reimplements the required subset from scratch:
+
+* an immutable expression tree (:mod:`repro.symbolic.expr`)
+* construction from Python ASTs and strings (:mod:`repro.symbolic.parser`)
+* algebraic simplification (:mod:`repro.symbolic.simplify`)
+* symbolic differentiation (:mod:`repro.symbolic.derivative`)
+* affine-form analysis used for memlet subsets and loop bounds
+  (:mod:`repro.symbolic.affine`)
+* evaluation against a numeric environment and Python code emission
+  (:mod:`repro.symbolic.evaluate`, :mod:`repro.symbolic.codeemit`)
+"""
+
+from repro.symbolic.expr import (
+    Expr,
+    Const,
+    Sym,
+    BinOp,
+    UnOp,
+    Call,
+    Compare,
+    BoolOp,
+    IfExp,
+    as_expr,
+    symbols,
+    free_symbols,
+)
+from repro.symbolic.parser import parse_expr, expr_from_ast
+from repro.symbolic.simplify import simplify
+from repro.symbolic.derivative import diff
+from repro.symbolic.affine import affine_coefficients, is_affine_in
+from repro.symbolic.evaluate import evaluate, substitute
+from repro.symbolic.codeemit import to_python
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Compare",
+    "BoolOp",
+    "IfExp",
+    "as_expr",
+    "symbols",
+    "free_symbols",
+    "parse_expr",
+    "expr_from_ast",
+    "simplify",
+    "diff",
+    "affine_coefficients",
+    "is_affine_in",
+    "evaluate",
+    "substitute",
+    "to_python",
+]

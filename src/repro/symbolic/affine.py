@@ -1,0 +1,109 @@
+"""Affine-form analysis of symbolic expressions.
+
+Memlet subsets and loop bounds in the supported program class are affine in
+the loop iterators (paper, Fig. 5: "affine loops ... fully supported").  The
+code generator uses :func:`affine_coefficients` to turn per-element index
+expressions such as ``i + 1`` or ``2*j`` into NumPy slices, and the AD engine
+uses it to reason about loop normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.symbolic.expr import BinOp, Call, Compare, Const, Expr, Sym, UnOp
+
+
+def affine_coefficients(
+    expr: Expr | int | float, variables: Iterable[str]
+) -> Optional[dict[str, Expr]]:
+    """Decompose ``expr`` as ``c0 + sum(c_v * v)`` over ``variables``.
+
+    Returns a dict mapping each variable name to its coefficient expression
+    plus the key ``""`` for the constant term, or ``None`` if the expression
+    is not affine in the given variables.  Coefficients and the constant term
+    may still reference *other* symbols (e.g. array-size parameters).
+    """
+    variables = list(variables)
+    var_set = set(variables)
+    result = _affine(expr, var_set)
+    if result is None:
+        return None
+    # Fill missing entries with 0 for a stable interface.
+    from repro.symbolic.simplify import simplify
+
+    out: dict[str, Expr] = {"": simplify(result.get("", Const(0)))}
+    for var in variables:
+        out[var] = simplify(result.get(var, Const(0)))
+    return out
+
+
+def is_affine_in(expr: Expr | int | float, variables: Iterable[str]) -> bool:
+    """True if ``expr`` is an affine function of ``variables``."""
+    return affine_coefficients(expr, variables) is not None
+
+
+def _scale(terms: dict[str, Expr], factor: Expr) -> dict[str, Expr]:
+    return {key: BinOp("*", coeff, factor) for key, coeff in terms.items()}
+
+
+def _add(a: dict[str, Expr], b: dict[str, Expr], sign: int = 1) -> dict[str, Expr]:
+    out = dict(a)
+    for key, coeff in b.items():
+        term = coeff if sign > 0 else UnOp("-", coeff)
+        if key in out:
+            out[key] = BinOp("+", out[key], term)
+        else:
+            out[key] = term
+    return out
+
+
+def _affine(expr, var_set: set[str]) -> Optional[dict[str, Expr]]:
+    if isinstance(expr, (int, float)):
+        return {"": Const(expr)}
+    if isinstance(expr, Const):
+        return {"": expr}
+    if isinstance(expr, Sym):
+        if expr.name in var_set:
+            return {expr.name: Const(1)}
+        return {"": expr}
+    if isinstance(expr, UnOp) and expr.op == "-":
+        inner = _affine(expr.operand, var_set)
+        if inner is None:
+            return None
+        return {key: UnOp("-", coeff) for key, coeff in inner.items()}
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            left = _affine(expr.left, var_set)
+            right = _affine(expr.right, var_set)
+            if left is None or right is None:
+                return None
+            return _add(left, right, 1 if expr.op == "+" else -1)
+        if expr.op == "*":
+            left = _affine(expr.left, var_set)
+            right = _affine(expr.right, var_set)
+            if left is None or right is None:
+                return None
+            left_vars = set(left) - {""}
+            right_vars = set(right) - {""}
+            if left_vars and right_vars:
+                return None  # product of two variable-dependent terms
+            if left_vars:
+                return _scale(left, right.get("", Const(0)))
+            return _scale(right, left.get("", Const(0)))
+        if expr.op in ("/", "//"):
+            left = _affine(expr.left, var_set)
+            right = _affine(expr.right, var_set)
+            if left is None or right is None:
+                return None
+            if set(right) - {""}:
+                return None  # division by a variable-dependent term
+            divisor = right.get("", Const(1))
+            return {key: BinOp(expr.op, coeff, divisor) for key, coeff in left.items()}
+        return None
+    if isinstance(expr, (Call, Compare)):
+        # A call/comparison not involving the variables is a plain constant term.
+        if not (expr.free_symbols() & var_set):
+            return {"": expr}
+        return None
+    return None

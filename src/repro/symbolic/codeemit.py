@@ -1,0 +1,147 @@
+"""Emit Python/NumPy source for symbolic expressions.
+
+The code generator replaces tasklet connector symbols with array references
+(slices or indexed accesses) by passing a ``rename`` mapping: the emitted text
+for each symbol can be an arbitrary Python expression string, so the same
+routine serves scalar emission inside sequential loops and vectorised emission
+over whole array slices.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    Sym,
+    UnOp,
+)
+
+#: How intrinsics are spelled in generated code.  ``np`` is always in scope of
+#: generated modules; ``__erf`` and ``__relu`` are injected by the codegen
+#: runtime namespace.
+_CALL_SPELLING = {
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sqrt": "np.sqrt",
+    "tanh": "np.tanh",
+    "abs": "np.abs",
+    "sign": "np.sign",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+    "maximum": "np.maximum",
+    "minimum": "np.minimum",
+    "relu": "__relu",
+    "erf": "__erf",
+}
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "==": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "//": 6,
+    "%": 6,
+    "@": 6,
+    "u-": 7,
+    "**": 8,
+}
+
+
+def to_python(
+    expr: Expr | int | float,
+    rename: Mapping[str, str] | None = None,
+    vectorized: bool = False,
+) -> str:
+    """Render ``expr`` as Python source.
+
+    ``rename`` maps symbol names to replacement source snippets.  When
+    ``vectorized`` is true, ternaries are emitted as ``np.where`` so the code
+    works elementwise on arrays.
+    """
+    rename = rename or {}
+    return _emit(expr, rename, vectorized, parent_prec=0)
+
+
+def _paren(text: str, prec: int, parent_prec: int) -> str:
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _emit(expr, rename: Mapping[str, str], vec: bool, parent_prec: int) -> str:
+    if isinstance(expr, (int, float)):
+        return repr(expr)
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, bool):
+            return "True" if value else "False"
+        if isinstance(value, float) and value < 0:
+            return _paren(repr(value), _PRECEDENCE["u-"], parent_prec)
+        if isinstance(value, int) and value < 0:
+            return _paren(repr(value), _PRECEDENCE["u-"], parent_prec)
+        return repr(value)
+    if isinstance(expr, Sym):
+        return rename.get(expr.name, expr.name)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            inner = _emit(expr.operand, rename, vec, _PRECEDENCE["u-"])
+            return _paren(f"-{inner}", _PRECEDENCE["u-"], parent_prec)
+        if expr.op == "not":
+            inner = _emit(expr.operand, rename, vec, _PRECEDENCE["not"])
+            if vec:
+                return f"np.logical_not({_emit(expr.operand, rename, vec, 0)})"
+            return _paren(f"not {inner}", _PRECEDENCE["not"], parent_prec)
+        raise ValueError(f"Unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = _emit(expr.left, rename, vec, prec)
+        # Right operand of -, /, // and % needs tighter binding to preserve order.
+        right_prec = prec + 1 if expr.op in ("-", "/", "//", "%", "**") else prec
+        right = _emit(expr.right, rename, vec, right_prec)
+        return _paren(f"{left} {expr.op} {right}", prec, parent_prec)
+    if isinstance(expr, Call):
+        spelled = _CALL_SPELLING[expr.func]
+        args = ", ".join(_emit(a, rename, vec, 0) for a in expr.args)
+        return f"{spelled}({args})"
+    if isinstance(expr, Compare):
+        prec = _PRECEDENCE[expr.op]
+        left = _emit(expr.left, rename, vec, prec)
+        right = _emit(expr.right, rename, vec, prec + 1)
+        return _paren(f"{left} {expr.op} {right}", prec, parent_prec)
+    if isinstance(expr, BoolOp):
+        prec = _PRECEDENCE[expr.op]
+        parts = [_emit(v, rename, vec, prec) for v in expr.values]
+        if vec:
+            combinator = "np.logical_and" if expr.op == "and" else "np.logical_or"
+            combined = parts[0]
+            for part in parts[1:]:
+                combined = f"{combinator}({combined}, {part})"
+            return combined
+        return _paren(f" {expr.op} ".join(parts), prec, parent_prec)
+    if isinstance(expr, IfExp):
+        cond = _emit(expr.condition, rename, vec, 0)
+        then = _emit(expr.then, rename, vec, 0)
+        otherwise = _emit(expr.otherwise, rename, vec, 0)
+        if vec:
+            return f"np.where({cond}, {then}, {otherwise})"
+        return f"(({then}) if ({cond}) else ({otherwise}))"
+    raise TypeError(f"Cannot emit code for {expr!r}")

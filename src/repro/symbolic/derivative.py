@@ -1,0 +1,148 @@
+"""Symbolic differentiation of scalar expressions.
+
+This is the heart of "symbolic automatic differentiation" of tasklets: given
+the expression computed inside a tasklet, :func:`diff` produces the partial
+derivative with respect to one of its input connectors.  The AD engine then
+multiplies by the incoming output gradient and accumulates into the input's
+gradient container (chain rule).
+
+Discontinuous functions (``abs``, ``maximum``, ``floor``, ...) are
+differentiated almost everywhere, matching the convention of mainstream AD
+frameworks (e.g. ``d/dx max(x, y) = 1`` where ``x > y``; sub-gradient ``0`` at
+kinks where relevant).
+"""
+
+from __future__ import annotations
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    Sym,
+    UnOp,
+)
+from repro.symbolic.simplify import simplify
+from repro.util.errors import AutodiffError
+
+
+def diff(expr: Expr, wrt: str | Sym) -> Expr:
+    """Partial derivative of ``expr`` with respect to the symbol ``wrt``."""
+    name = wrt.name if isinstance(wrt, Sym) else wrt
+    return simplify(_diff(expr, name))
+
+
+def _diff(expr: Expr, wrt: str) -> Expr:
+    if isinstance(expr, Const):
+        return Const(0)
+    if isinstance(expr, Sym):
+        return Const(1) if expr.name == wrt else Const(0)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return UnOp("-", _diff(expr.operand, wrt))
+        raise AutodiffError(f"Cannot differentiate unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        return _diff_binop(expr, wrt)
+    if isinstance(expr, Call):
+        return _diff_call(expr, wrt)
+    if isinstance(expr, IfExp):
+        # The condition is treated as locally constant (it defines which branch
+        # is active).  This is the standard AD convention for select/where.
+        return IfExp(expr.condition, _diff(expr.then, wrt), _diff(expr.otherwise, wrt))
+    if isinstance(expr, (Compare, BoolOp)):
+        # Boolean expressions are piecewise constant: zero derivative a.e.
+        return Const(0)
+    raise AutodiffError(f"Cannot differentiate expression {expr!r}")
+
+
+def _diff_binop(expr: BinOp, wrt: str) -> Expr:
+    dl = _diff(expr.left, wrt)
+    dr = _diff(expr.right, wrt)
+    left, right = expr.left, expr.right
+    if expr.op == "+":
+        return BinOp("+", dl, dr)
+    if expr.op == "-":
+        return BinOp("-", dl, dr)
+    if expr.op == "*":
+        return BinOp("+", BinOp("*", dl, right), BinOp("*", left, dr))
+    if expr.op == "/":
+        # d(u/v) = du/v - u*dv/v^2
+        term1 = BinOp("/", dl, right)
+        term2 = BinOp("/", BinOp("*", left, dr), BinOp("**", right, Const(2)))
+        return BinOp("-", term1, term2)
+    if expr.op == "**":
+        if isinstance(right, Const):
+            # d(u^c) = c * u^(c-1) * du
+            exponent = Const(right.value - 1)
+            return BinOp(
+                "*", BinOp("*", right, BinOp("**", left, exponent)), dl
+            )
+        if not right.contains_symbol(wrt):
+            exponent = BinOp("-", right, Const(1))
+            return BinOp("*", BinOp("*", right, BinOp("**", left, exponent)), dl)
+        if not left.contains_symbol(wrt):
+            # d(c^v) = c^v * ln(c) * dv
+            return BinOp("*", BinOp("*", expr, Call("log", (left,))), dr)
+        # General u^v: u^v * (dv*ln(u) + v*du/u)
+        term = BinOp(
+            "+",
+            BinOp("*", dr, Call("log", (left,))),
+            BinOp("/", BinOp("*", right, dl), left),
+        )
+        return BinOp("*", expr, term)
+    if expr.op in ("//", "%"):
+        # Integer operations: piecewise-constant, zero derivative a.e.
+        return Const(0)
+    raise AutodiffError(f"Cannot differentiate binary operator {expr.op!r}")
+
+
+def _diff_call(expr: Call, wrt: str) -> Expr:
+    args = expr.args
+    func = expr.func
+    if func == "sin":
+        inner = args[0]
+        return BinOp("*", Call("cos", (inner,)), _diff(inner, wrt))
+    if func == "cos":
+        inner = args[0]
+        return BinOp("*", UnOp("-", Call("sin", (inner,))), _diff(inner, wrt))
+    if func == "tan":
+        inner = args[0]
+        sec2 = BinOp("/", Const(1), BinOp("**", Call("cos", (inner,)), Const(2)))
+        return BinOp("*", sec2, _diff(inner, wrt))
+    if func == "exp":
+        inner = args[0]
+        return BinOp("*", expr, _diff(inner, wrt))
+    if func == "log":
+        inner = args[0]
+        return BinOp("/", _diff(inner, wrt), inner)
+    if func == "sqrt":
+        inner = args[0]
+        return BinOp("/", _diff(inner, wrt), BinOp("*", Const(2), expr))
+    if func == "tanh":
+        inner = args[0]
+        one_minus = BinOp("-", Const(1), BinOp("**", expr, Const(2)))
+        return BinOp("*", one_minus, _diff(inner, wrt))
+    if func == "abs":
+        inner = args[0]
+        return BinOp("*", Call("sign", (inner,)), _diff(inner, wrt))
+    if func == "erf":
+        inner = args[0]
+        # d erf(u) = 2/sqrt(pi) * exp(-u^2) * du
+        coeff = Const(2.0 / 1.7724538509055159)
+        gauss = Call("exp", (UnOp("-", BinOp("**", inner, Const(2))),))
+        return BinOp("*", BinOp("*", coeff, gauss), _diff(inner, wrt))
+    if func == "relu":
+        inner = args[0]
+        gate = IfExp(Compare(">", inner, Const(0)), Const(1), Const(0))
+        return BinOp("*", gate, _diff(inner, wrt))
+    if func in ("maximum", "minimum"):
+        a, b = args
+        op = ">" if func == "maximum" else "<"
+        da, db = _diff(a, wrt), _diff(b, wrt)
+        return IfExp(Compare(op, a, b), da, db)
+    if func in ("sign", "floor", "ceil"):
+        return Const(0)
+    raise AutodiffError(f"Cannot differentiate intrinsic {func!r}")

@@ -1,0 +1,142 @@
+"""Substitution and numeric evaluation of symbolic expressions.
+
+``evaluate`` is NumPy-aware: symbols may be bound to arrays, in which case the
+expression is evaluated elementwise with broadcasting (this is how vectorised
+maps are executed by the reference interpreter and how tests check symbolic
+derivatives against finite differences).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    Sym,
+    UnOp,
+    as_expr,
+)
+
+try:  # scipy is a hard dependency of the package, but keep the import local.
+    from scipy.special import erf as _erf
+except Exception:  # pragma: no cover - scipy is always present in this repo
+    _erf = None
+
+
+def _relu(x):
+    return np.maximum(x, 0)
+
+
+_CALL_IMPLS = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "tanh": np.tanh,
+    "abs": np.abs,
+    "sign": np.sign,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "maximum": np.maximum,
+    "minimum": np.minimum,
+    "relu": _relu,
+    "erf": _erf,
+}
+
+_BINOP_IMPLS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
+    "@": lambda a, b: a @ b,
+}
+
+_CMP_IMPLS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def substitute(expr: Expr, mapping: Mapping[str, object]) -> Expr:
+    """Replace symbols by expressions/numbers, returning a new expression."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Sym):
+        if expr.name in mapping:
+            return as_expr(mapping[expr.name])
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(substitute(a, mapping) for a in expr.args))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, tuple(substitute(v, mapping) for v in expr.values))
+    if isinstance(expr, IfExp):
+        return IfExp(
+            substitute(expr.condition, mapping),
+            substitute(expr.then, mapping),
+            substitute(expr.otherwise, mapping),
+        )
+    raise TypeError(f"Cannot substitute into {expr!r}")
+
+
+def evaluate(expr: Expr | int | float, env: Mapping[str, object] | None = None):
+    """Numerically evaluate ``expr`` with symbols bound by ``env``.
+
+    Unbound symbols raise ``KeyError``.  Values may be scalars or NumPy
+    arrays; standard broadcasting rules apply.
+    """
+    env = env or {}
+    if isinstance(expr, (int, float)):
+        return expr
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Sym):
+        return env[expr.name]
+    if isinstance(expr, UnOp):
+        val = evaluate(expr.operand, env)
+        if expr.op == "-":
+            return -val
+        if expr.op == "not":
+            return np.logical_not(val)
+        raise ValueError(f"Unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        return _BINOP_IMPLS[expr.op](evaluate(expr.left, env), evaluate(expr.right, env))
+    if isinstance(expr, Call):
+        impl = _CALL_IMPLS[expr.func]
+        return impl(*(evaluate(a, env) for a in expr.args))
+    if isinstance(expr, Compare):
+        return _CMP_IMPLS[expr.op](evaluate(expr.left, env), evaluate(expr.right, env))
+    if isinstance(expr, BoolOp):
+        values = [evaluate(v, env) for v in expr.values]
+        result = values[0]
+        for value in values[1:]:
+            result = np.logical_and(result, value) if expr.op == "and" else np.logical_or(result, value)
+        return result
+    if isinstance(expr, IfExp):
+        cond = evaluate(expr.condition, env)
+        then = evaluate(expr.then, env)
+        otherwise = evaluate(expr.otherwise, env)
+        return np.where(cond, then, otherwise)
+    raise TypeError(f"Cannot evaluate {expr!r}")

@@ -1,0 +1,126 @@
+"""Build symbolic expressions from Python source / AST fragments.
+
+The frontend reuses :func:`expr_from_ast` for scalar sub-expressions (loop
+bounds, indices, conditions and tasklet bodies).  Array accesses are *not*
+handled here - the frontend replaces them with connector symbols before
+calling into this module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    KNOWN_FUNCTIONS,
+    Sym,
+    UnOp,
+)
+from repro.util.errors import FrontendError
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.MatMult: "@",
+}
+
+_CMPOPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+#: Aliases accepted for intrinsic calls (``np.fabs`` -> ``abs`` etc.).
+_FUNC_ALIASES = {
+    "fabs": "abs",
+    "absolute": "abs",
+    "fmax": "maximum",
+    "fmin": "minimum",
+    "power": "**",
+}
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a Python expression string into a symbolic expression."""
+    tree = ast.parse(source, mode="eval")
+    return expr_from_ast(tree.body)
+
+
+def expr_from_ast(node: ast.AST) -> Expr:
+    """Convert a Python ``ast`` expression node into an :class:`Expr`.
+
+    Names become symbols; attribute accesses like ``np.sin`` or ``math.exp``
+    are reduced to their final attribute and must name a known intrinsic.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float, bool)):
+            return Const(node.value)
+        raise FrontendError(f"Unsupported constant {node.value!r} in symbolic expression")
+    if isinstance(node, ast.Name):
+        return Sym(node.id)
+    if isinstance(node, ast.BinOp):
+        op_type = type(node.op)
+        if op_type not in _BINOPS:
+            raise FrontendError(f"Unsupported binary operator {op_type.__name__}")
+        return BinOp(_BINOPS[op_type], expr_from_ast(node.left), expr_from_ast(node.right))
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.USub):
+            return UnOp("-", expr_from_ast(node.operand))
+        if isinstance(node.op, ast.UAdd):
+            return expr_from_ast(node.operand)
+        if isinstance(node.op, ast.Not):
+            return UnOp("not", expr_from_ast(node.operand))
+        raise FrontendError(f"Unsupported unary operator {type(node.op).__name__}")
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise FrontendError("Chained comparisons are not supported")
+        op_type = type(node.ops[0])
+        if op_type not in _CMPOPS:
+            raise FrontendError(f"Unsupported comparison {op_type.__name__}")
+        return Compare(
+            _CMPOPS[op_type], expr_from_ast(node.left), expr_from_ast(node.comparators[0])
+        )
+    if isinstance(node, ast.BoolOp):
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        return BoolOp(op, tuple(expr_from_ast(v) for v in node.values))
+    if isinstance(node, ast.IfExp):
+        return IfExp(
+            expr_from_ast(node.test), expr_from_ast(node.body), expr_from_ast(node.orelse)
+        )
+    if isinstance(node, ast.Call):
+        func_name = _call_name(node.func)
+        func_name = _FUNC_ALIASES.get(func_name, func_name)
+        args = tuple(expr_from_ast(arg) for arg in node.args)
+        if func_name == "**":  # np.power(a, b)
+            if len(args) != 2:
+                raise FrontendError("power() expects two arguments")
+            return BinOp("**", args[0], args[1])
+        if func_name in ("min", "max"):
+            func_name = "minimum" if func_name == "min" else "maximum"
+        if func_name not in KNOWN_FUNCTIONS:
+            raise FrontendError(f"Unknown intrinsic function {func_name!r}")
+        return Call(func_name, args)
+    raise FrontendError(f"Unsupported expression construct {type(node).__name__}")
+
+
+def _call_name(func: ast.AST) -> str:
+    """Extract the terminal function name from ``np.sin`` / ``math.exp`` / ``sin``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    raise FrontendError("Unsupported callee in symbolic expression")

@@ -1,0 +1,162 @@
+"""Algebraic simplification.
+
+Simplification is deliberately conservative: it performs constant folding and
+removes algebraic no-ops (``x*1``, ``x+0``, ``x**1``, ``0/x`` ...).  The goal
+is to keep generated backward-pass expressions readable and cheap, not to be
+a full computer-algebra system.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    Sym,
+    UnOp,
+)
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
+}
+
+_FOLDABLE_CALLS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "tanh": math.tanh,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sign": lambda x: (x > 0) - (x < 0),
+    "maximum": max,
+    "minimum": min,
+}
+
+
+def _is_const(expr: Expr, value: float | None = None) -> bool:
+    if not isinstance(expr, Const):
+        return False
+    if value is None:
+        return True
+    return expr.value == value and not isinstance(expr.value, bool)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a simplified, semantically-equivalent expression."""
+    if isinstance(expr, (Const, Sym)):
+        return expr
+    if isinstance(expr, UnOp):
+        operand = simplify(expr.operand)
+        if expr.op == "-":
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            if isinstance(operand, UnOp) and operand.op == "-":
+                return operand.operand
+        if expr.op == "not" and isinstance(operand, Const):
+            return Const(not operand.value)
+        return UnOp(expr.op, operand)
+    if isinstance(expr, BinOp):
+        return _simplify_binop(expr)
+    if isinstance(expr, Call):
+        args = tuple(simplify(a) for a in expr.args)
+        if expr.func in _FOLDABLE_CALLS and all(isinstance(a, Const) for a in args):
+            try:
+                value = _FOLDABLE_CALLS[expr.func](*(a.value for a in args))
+                return Const(value)
+            except (ValueError, ZeroDivisionError, OverflowError):
+                pass
+        return Call(expr.func, args)
+    if isinstance(expr, Compare):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            result = {
+                "<": left.value < right.value,
+                "<=": left.value <= right.value,
+                ">": left.value > right.value,
+                ">=": left.value >= right.value,
+                "==": left.value == right.value,
+                "!=": left.value != right.value,
+            }[expr.op]
+            return Const(result)
+        return Compare(expr.op, left, right)
+    if isinstance(expr, BoolOp):
+        values = tuple(simplify(v) for v in expr.values)
+        consts = [v for v in values if isinstance(v, Const)]
+        if len(consts) == len(values):
+            if expr.op == "and":
+                return Const(all(bool(c.value) for c in consts))
+            return Const(any(bool(c.value) for c in consts))
+        return BoolOp(expr.op, values)
+    if isinstance(expr, IfExp):
+        cond = simplify(expr.condition)
+        then = simplify(expr.then)
+        otherwise = simplify(expr.otherwise)
+        if isinstance(cond, Const):
+            return then if cond.value else otherwise
+        return IfExp(cond, then, otherwise)
+    return expr
+
+
+def _simplify_binop(expr: BinOp) -> Expr:
+    left = simplify(expr.left)
+    right = simplify(expr.right)
+    op = expr.op
+
+    if isinstance(left, Const) and isinstance(right, Const) and op in _FOLDABLE:
+        try:
+            return Const(_FOLDABLE[op](left.value, right.value))
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return BinOp(op, left, right)
+
+    if op == "+":
+        if _is_const(left, 0):
+            return right
+        if _is_const(right, 0):
+            return left
+    elif op == "-":
+        if _is_const(right, 0):
+            return left
+        if _is_const(left, 0):
+            return simplify(UnOp("-", right))
+        if left == right:
+            return Const(0)
+    elif op == "*":
+        if _is_const(left, 0) or _is_const(right, 0):
+            return Const(0)
+        if _is_const(left, 1):
+            return right
+        if _is_const(right, 1):
+            return left
+        if _is_const(left, -1):
+            return simplify(UnOp("-", right))
+        if _is_const(right, -1):
+            return simplify(UnOp("-", left))
+    elif op == "/":
+        if _is_const(left, 0):
+            return Const(0)
+        if _is_const(right, 1):
+            return left
+    elif op == "**":
+        if _is_const(right, 1):
+            return left
+        if _is_const(right, 0):
+            return Const(1)
+        if _is_const(left, 1):
+            return Const(1)
+    return BinOp(op, left, right)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Each compiler stage raises its own error type so callers (and tests) can
+distinguish "this program is outside the supported subset" from genuine bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FrontendError(ReproError):
+    """The Python frontend could not lower a construct to the IR."""
+
+
+class UnsupportedFeatureError(FrontendError):
+    """The program uses a feature that is explicitly outside the supported
+    subset (e.g. ``while`` loops, ``break``, recursion, complex numbers).
+
+    This mirrors the paper's loop taxonomy (Fig. 5): unsupported constructs
+    are rejected with a clear message instead of producing wrong gradients.
+    """
+
+
+class ValidationError(ReproError):
+    """An SDFG failed structural validation."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed for a (valid) SDFG."""
+
+
+class AutodiffError(ReproError):
+    """The automatic differentiation engine could not reverse a construct."""
+
+
+class CheckpointingError(ReproError):
+    """The ILP checkpointing machinery failed (e.g. infeasible memory limit)."""

@@ -1,0 +1,56 @@
+"""Unique-name generation and identifier sanitisation."""
+
+from __future__ import annotations
+
+import keyword
+import re
+
+
+class NameGenerator:
+    """Generates names that are unique within one scope (an SDFG).
+
+    The generator remembers every name it has handed out or been told about,
+    so transients, gradients, tapes and temporaries never collide.
+    """
+
+    def __init__(self, reserved: set[str] | None = None) -> None:
+        self._used: set[str] = set(reserved or ())
+        self._counters: dict[str, int] = {}
+
+    def reserve(self, name: str) -> str:
+        """Mark ``name`` as used and return it unchanged."""
+        self._used.add(name)
+        return name
+
+    def is_used(self, name: str) -> bool:
+        return name in self._used
+
+    def fresh(self, prefix: str) -> str:
+        """Return a fresh name starting with ``prefix``."""
+        prefix = sanitize_identifier(prefix)
+        if prefix not in self._used:
+            self._used.add(prefix)
+            return prefix
+        count = self._counters.get(prefix, 0)
+        while True:
+            candidate = f"{prefix}_{count}"
+            count += 1
+            if candidate not in self._used:
+                self._counters[prefix] = count
+                self._used.add(candidate)
+                return candidate
+
+
+_IDENT_RE = re.compile(r"[^0-9a-zA-Z_]")
+
+
+def sanitize_identifier(name: str) -> str:
+    """Turn an arbitrary string into a valid Python identifier."""
+    name = _IDENT_RE.sub("_", name)
+    if not name:
+        name = "_"
+    if name[0].isdigit():
+        name = "_" + name
+    if keyword.iskeyword(name):
+        name = name + "_"
+    return name

@@ -1,0 +1,62 @@
+"""A minimal insertion-ordered set.
+
+Python dicts preserve insertion order, so an ordered set is a thin wrapper
+around a dict with ``None`` values.  Deterministic ordering matters for the
+compiler: generated code, gradient names and ILP variable ordering must be
+stable across runs for tests and reproducibility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, MutableSet
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class OrderedSet(MutableSet[T]):
+    """Set preserving insertion order with list-like convenience methods."""
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._data: dict[T, None] = dict.fromkeys(items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._data
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OrderedSet({list(self._data)!r})"
+
+    def add(self, item: T) -> None:
+        self._data[item] = None
+
+    def discard(self, item: T) -> None:
+        self._data.pop(item, None)
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    def copy(self) -> "OrderedSet[T]":
+        return OrderedSet(self._data)
+
+    def union(self, other: Iterable[T]) -> "OrderedSet[T]":
+        result = self.copy()
+        result.update(other)
+        return result
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item in other_set)
+
+    def difference(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item not in other_set)
+
+    def as_list(self) -> list[T]:
+        return list(self._data)

@@ -1,0 +1,70 @@
+"""Timing helpers.
+
+The benchmark harness (``repro.harness.measure``) builds on these to follow
+the measurement methodology used by the paper (warmup run, repeated
+measurements, confidence intervals); this module only provides the low-level
+building blocks so they can be reused in examples and tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class TimingResult:
+    """Raw repeated-measurement result for one callable."""
+
+    times: list[float] = field(default_factory=list)
+    value: Any = None
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.times)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def measure_callable(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> TimingResult:
+    """Time ``fn`` with ``warmup`` unmeasured calls followed by ``repeats``
+    measured calls.  Returns all individual times plus the last return value.
+    """
+    result = TimingResult()
+    for _ in range(max(0, warmup)):
+        result.value = fn()
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result.value = fn()
+        result.times.append(time.perf_counter() - start)
+    return result

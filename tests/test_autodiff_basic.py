@@ -1,0 +1,287 @@
+"""Gradient correctness on small programs, validated against central finite
+differences.  These tests exercise every reversal rule in isolation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.numerical import finite_difference_gradient
+
+N = repro.symbol("N")
+M = repro.symbol("M")
+K = repro.symbol("K")
+
+
+def rand(*shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape) + 0.1
+
+
+def check_grad(program, args, wrt_index, wrt_name, rel=1e-5, abs_tol=1e-7, **kwargs):
+    """Compare repro.grad against finite differences for one argument."""
+    def run_forward(*call_args):
+        copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in call_args]
+        return program(*copies, **kwargs)
+
+    expected = finite_difference_gradient(run_forward, args, wrt=wrt_index, eps=1e-6)
+    df = repro.grad(program, wrt=wrt_name)
+    copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in args]
+    actual = df(*copies, **kwargs)
+    np.testing.assert_allclose(actual, expected, rtol=rel, atol=max(abs_tol, 1e-6))
+    return actual
+
+
+class TestElementwiseGradients:
+    def test_linear(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            B = 3.0 * A + 1.0
+            return np.sum(B)
+
+        check_grad(f, (rand(8),), 0, "A")
+
+    def test_product_and_power(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            C = A * B + A ** 3
+            return np.sum(C)
+
+        check_grad(f, (rand(8), rand(8, seed=1)), 0, "A")
+        check_grad(f, (rand(8), rand(8, seed=1)), 1, "B")
+
+    def test_transcendental(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            B = np.sin(A) * np.exp(A) + np.log(A) - np.sqrt(A) + np.tanh(A)
+            return np.sum(B)
+
+        check_grad(f, (rand(10),), 0, "A")
+
+    def test_division(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            C = A / (B + 2.0)
+            return np.sum(C)
+
+        check_grad(f, (rand(6), rand(6, seed=2)), 1, "B")
+
+    def test_scalar_argument_gradient(self):
+        @repro.program
+        def f(A: repro.float64[N], alpha: repro.float64):
+            B = alpha * A * A
+            return np.sum(B)
+
+        A = rand(7)
+        actual = check_grad(f, (A, 1.7), 1, "alpha")
+        assert np.asarray(actual).shape == ()
+
+    def test_maximum_and_where(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            B = np.maximum(A - 0.5, 0.2 * A) + np.where(A > 0.6, A * A, A)
+            return np.sum(B)
+
+        check_grad(f, (rand(20),), 0, "A")
+
+    def test_broadcast_vector(self):
+        @repro.program
+        def f(A: repro.float64[N, M], v: repro.float64[M]):
+            B = A * v
+            return np.sum(B)
+
+        check_grad(f, (rand(4, 5), rand(5, seed=3)), 1, "v")
+
+    def test_sliced_stencil(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            B[1:-1] = 0.5 * (A[:-2] + A[2:]) * A[1:-1]
+            return np.sum(B)
+
+        check_grad(f, (rand(12), rand(12, seed=1)), 0, "A")
+
+
+class TestLibraryGradients:
+    def test_matmul(self):
+        @repro.program
+        def f(A: repro.float64[N, K], B: repro.float64[K, M]):
+            C = A @ B
+            return np.sum(C)
+
+        check_grad(f, (rand(4, 3), rand(3, 5, seed=1)), 0, "A")
+        check_grad(f, (rand(4, 3), rand(3, 5, seed=1)), 1, "B")
+
+    def test_matvec(self):
+        @repro.program
+        def f(A: repro.float64[N, M], x: repro.float64[M]):
+            y = A @ x
+            return np.sum(y)
+
+        check_grad(f, (rand(4, 6), rand(6, seed=1)), 0, "A")
+        check_grad(f, (rand(4, 6), rand(6, seed=1)), 1, "x")
+
+    def test_vecmat_and_dot(self):
+        @repro.program
+        def f(x: repro.float64[N], A: repro.float64[N, M], y: repro.float64[M]):
+            u = x @ A
+            s = u @ y
+            return s
+
+        args = (rand(4), rand(4, 5, seed=1), rand(5, seed=2))
+        check_grad(f, args, 0, "x")
+        check_grad(f, args, 2, "y")
+
+    def test_matmul_chain_nonlinear(self):
+        @repro.program
+        def f(A: repro.float64[N, N], B: repro.float64[N, N]):
+            C = A @ B
+            D = np.sin(C) @ A
+            return np.sum(D)
+
+        check_grad(f, (rand(4, 4), rand(4, 4, seed=1)), 0, "A")
+
+    def test_outer_product(self):
+        @repro.program
+        def f(u: repro.float64[N], v: repro.float64[M]):
+            A = np.outer(u, v)
+            return np.sum(A * A)
+
+        check_grad(f, (rand(4), rand(5, seed=1)), 0, "u")
+        check_grad(f, (rand(4), rand(5, seed=1)), 1, "v")
+
+    def test_transpose(self):
+        @repro.program
+        def f(A: repro.float64[N, M]):
+            B = A.T @ A
+            return np.sum(B)
+
+        check_grad(f, (rand(4, 3),), 0, "A")
+
+    def test_reduce_axis(self):
+        @repro.program
+        def f(A: repro.float64[N, M]):
+            cols = np.sum(A, axis=0)
+            return np.sum(cols * cols)
+
+        check_grad(f, (rand(4, 5),), 0, "A")
+
+    def test_mean(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            return np.mean(A * A)
+
+        check_grad(f, (rand(9),), 0, "A")
+
+
+class TestMutationGradients:
+    """In-place updates and overwrites: the gradient-clearing machinery."""
+
+    def test_full_overwrite(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            B = A * 2.0
+            B = B * B          # overwrite: old B's gradient must be cleared
+            return np.sum(B)
+
+        check_grad(f, (rand(8),), 0, "A")
+
+    def test_self_overwrite_nonlinear(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            A[:] = A * A + 1.0
+            A[:] = A * 2.0
+            return np.sum(A)
+
+        check_grad(f, (rand(8),), 0, "A")
+
+    def test_argument_mutated_in_place(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            A[:] = A * B
+            A[:] = A + B
+            return np.sum(A * A)
+
+        check_grad(f, (rand(6), rand(6, seed=1)), 0, "A")
+        check_grad(f, (rand(6), rand(6, seed=1)), 1, "B")
+
+    def test_indexed_overwrite(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            A[0] = A[1] * A[2]
+            A[3] = A[0] * 2.0
+            return np.sum(A)
+
+        check_grad(f, (rand(6),), 0, "A")
+
+    def test_accumulating_updates(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            B += A * A
+            B[1:] += A[:-1]
+            return np.sum(B * B)
+
+        check_grad(f, (rand(7), rand(7, seed=1)), 0, "A")
+
+    def test_example_from_paper_figure4(self):
+        # O = A[0] + A[1]; A[1] = B[1]; O += A[0] + A[1]
+        # The overwrite of A[1] must clear its gradient so b1's contribution is
+        # not erroneously attributed to A (paper Fig. 4).
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N], O: repro.float64):
+            O += A[0] + A[1]
+            A[1] = B[1]
+            O += A[0] + A[1]
+            return O
+
+        A, B = rand(2), rand(2, seed=1)
+        grads = repro.grad(f, wrt=["A", "B"])(A.copy(), B.copy(), 0.0)
+        np.testing.assert_allclose(grads["A"], [2.0, 1.0])
+        np.testing.assert_allclose(grads["B"], [0.0, 1.0])
+
+
+class TestAPISurface:
+    def test_value_and_grad(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            return np.sum(A * A)
+
+        A = rand(5)
+        value, gradient = repro.value_and_grad(f, wrt="A")(A.copy())
+        assert value == pytest.approx(np.sum(A * A))
+        np.testing.assert_allclose(gradient, 2 * A, rtol=1e-10)
+
+    def test_multiple_inputs_returns_dict(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            return np.sum(A * B)
+
+        A, B = rand(5), rand(5, seed=1)
+        grads = repro.grad(f)(A.copy(), B.copy())
+        assert set(grads) == {"A", "B"}
+        np.testing.assert_allclose(grads["A"], B)
+        np.testing.assert_allclose(grads["B"], A)
+
+    def test_unused_input_gets_zero_gradient(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            return np.sum(A)
+
+        grads = repro.grad(f)(rand(4), rand(4, seed=1))
+        np.testing.assert_allclose(grads["B"], np.zeros(4))
+
+    def test_non_float_wrt_rejected(self):
+        from repro.util.errors import AutodiffError
+
+        @repro.program
+        def f(A: repro.float64[N], idx: repro.int64):
+            return np.sum(A)
+
+        with pytest.raises(AutodiffError):
+            repro.grad(f, wrt="idx")
+
+    def test_generated_source_contains_backward(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            return np.sum(np.sin(A))
+
+        df = repro.grad(f, wrt="A")
+        assert "np.cos" in df.source

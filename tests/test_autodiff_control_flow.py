@@ -1,0 +1,170 @@
+"""Gradients through control flow: stored conditions, backward pruning,
+branches inside loops, and the checkpointing of condition values."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.numerical import finite_difference_gradient
+
+N = repro.symbol("N")
+
+
+def rand(*shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape) + 0.1
+
+
+def check_grad(program, args, wrt_index, wrt_name, rel=1e-5, **kwargs):
+    def run_forward(*call_args):
+        copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in call_args]
+        return program(*copies, **kwargs)
+
+    expected = finite_difference_gradient(run_forward, args, wrt=wrt_index, eps=1e-6)
+    df = repro.grad(program, wrt=wrt_name)
+    copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in args]
+    actual = df(*copies, **kwargs)
+    np.testing.assert_allclose(actual, expected, rtol=rel, atol=1e-6)
+    return actual
+
+
+class TestDataDependentBranches:
+    def test_simple_branch_from_paper_fig3(self):
+        # b = -2a; if b > 0: ... else: ...  - the stored condition selects the
+        # reversed else-branch at runtime.
+        @repro.program
+        def f(a: repro.float64, out: repro.float64):
+            b = -2.0 * a
+            if b > 0.0:
+                out = b * 3.0
+            else:
+                out = b * b
+            return out
+
+        for value in (4.0, -4.0):
+            check_grad(f, (value, 0.0), 0, "a")
+
+    def test_branch_on_array_element(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            if A[0] > 0.5:
+                C = A * 2.0
+                D = B * 4.0
+            else:
+                C = (A + B) * 2.0
+                D = C * 3.0
+            return np.sum(C) + np.sum(D)
+
+        for seed in (0, 7):
+            args = (rand(5, seed=seed), rand(5, seed=seed + 1))
+            check_grad(f, args, 0, "A")
+            check_grad(f, args, 1, "B")
+
+    def test_branch_without_else(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            if A[0] > 0.5:
+                A[:] = A * A
+            return np.sum(A)
+
+        for seed in (0, 7):
+            check_grad(f, (rand(6, seed=seed),), 0, "A")
+
+    def test_condition_value_overwritten_later(self):
+        # The branch condition depends on A[0], and A is later overwritten:
+        # the condition must be evaluated and stored in the forward pass.
+        @repro.program
+        def f(A: repro.float64[N]):
+            s = A[0]
+            if s > 0.5:
+                A[:] = A * 2.0
+            else:
+                A[:] = A * 3.0
+            A[0] = 0.0
+            return np.sum(A)
+
+        for seed in (0, 7):
+            check_grad(f, (rand(6, seed=seed),), 0, "A")
+
+
+class TestBranchesInsideLoops:
+    def test_symbolic_condition_in_loop(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(N):
+                if i % 2 == 0:
+                    A[i] = A[i] * A[i]
+                else:
+                    A[i] = A[i] * 3.0
+            return np.sum(A)
+
+        check_grad(f, (rand(9),), 0, "A")
+
+    def test_data_dependent_condition_in_loop_needs_tape(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(N):
+                if A[i] > 0.5:
+                    A[i] = A[i] * A[i]
+                else:
+                    A[i] = 2.0 * A[i]
+            return np.sum(A)
+
+        check_grad(f, (rand(11),), 0, "A")
+        # The stored conditions must live on a tape because the loop re-evaluates them.
+        result = repro.add_backward_pass(f.to_sdfg())
+        assert any(name.startswith("__tape___cond") for name in result.sdfg.arrays)
+
+    def test_condition_on_mutated_value_in_loop(self):
+        @repro.program
+        def f(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                if A[0] > 1.0:
+                    A[:] = A * 0.5
+                else:
+                    A[:] = A * 1.5 + 0.1
+            return np.sum(A)
+
+        check_grad(f, (rand(5),), 0, "A", steps=4)
+
+    def test_nested_branches(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(N):
+                if A[i] > 0.3:
+                    if A[i] > 0.7:
+                        A[i] = A[i] * A[i]
+                    else:
+                        A[i] = A[i] * 2.0
+                else:
+                    A[i] = A[i] + 0.5
+            return np.sum(A)
+
+        check_grad(f, (rand(15),), 0, "A")
+
+
+class TestBackwardPruning:
+    def test_untaken_branch_does_not_contribute(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N]):
+            if A[0] > 10.0:  # never true for our inputs
+                A[:] = A * B
+            return np.sum(A)
+
+        grads = repro.grad(f)(rand(5), rand(5, seed=1))
+        np.testing.assert_allclose(grads["B"], np.zeros(5))
+        np.testing.assert_allclose(grads["A"], np.ones(5))
+
+    def test_conditional_structure_is_mirrored(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            if A[0] > 0.5:
+                A[:] = A * A
+            else:
+                A[:] = A * 3.0
+            return np.sum(A)
+
+        result = repro.add_backward_pass(f.to_sdfg())
+        conditionals = list(result.sdfg.all_conditionals())
+        # one forward conditional + one reversed conditional
+        assert len(conditionals) == 2

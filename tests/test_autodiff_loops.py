@@ -1,0 +1,218 @@
+"""Gradients through sequential loops: compact loop reversal, stack tapes for
+values overwritten across iterations, triangular loops, negative steps."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.numerical import finite_difference_gradient
+
+N = repro.symbol("N")
+T = repro.symbol("T")
+
+
+def rand(*shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape) + 0.1
+
+
+def check_grad(program, args, wrt_index, wrt_name, rel=1e-4, **kwargs):
+    def run_forward(*call_args):
+        copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in call_args]
+        return program(*copies, **kwargs)
+
+    expected = finite_difference_gradient(run_forward, args, wrt=wrt_index, eps=1e-6)
+    df = repro.grad(program, wrt=wrt_name)
+    copies = [np.array(a, copy=True) if isinstance(a, np.ndarray) else a for a in args]
+    actual = df(*copies, **kwargs)
+    np.testing.assert_allclose(actual, expected, rtol=rel, atol=1e-6)
+    return actual
+
+
+class TestLinearLoops:
+    """Linear loop bodies need no forwarded values at all."""
+
+    def test_jacobi_style_timestep_loop(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                B[1:-1] = 0.33 * (A[:-2] + A[1:-1] + A[2:])
+                A[1:-1] = 0.33 * (B[:-2] + B[1:-1] + B[2:])
+            return np.sum(A)
+
+        check_grad(f, (rand(12), rand(12, seed=1)), 0, "A", steps=4)
+
+    def test_seidel_style_in_place_stencil(self):
+        @repro.program
+        def f(A: repro.float64[N, N], steps: repro.int64):
+            for t in range(steps):
+                for i in range(1, N - 1):
+                    for j in range(1, N - 1):
+                        A[i, j] = (A[i - 1, j] + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                                   + A[i + 1, j]) / 5.0
+            return np.sum(A)
+
+        check_grad(f, (rand(6, 6),), 0, "A", steps=2)
+
+    def test_prefix_sum_loop(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(1, N):
+                A[i] = A[i] + A[i - 1]
+            return np.sum(A)
+
+        check_grad(f, (rand(10),), 0, "A")
+
+    def test_negative_step_loop(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(N - 2, -1, -1):
+                A[i] = A[i] + 2.0 * A[i + 1]
+            return np.sum(A)
+
+        check_grad(f, (rand(9),), 0, "A")
+
+    def test_strided_loop(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(0, N - 1, 2):
+                A[i] = A[i] * 3.0 + A[i + 1]
+            return np.sum(A)
+
+        check_grad(f, (rand(11),), 0, "A")
+
+
+class TestNonlinearLoops:
+    """Non-linear loop bodies exercise the stack tape."""
+
+    def test_squared_updates_need_taping(self):
+        @repro.program
+        def f(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[:] = A * A * 0.9 + 0.1
+            return np.sum(A)
+
+        check_grad(f, (rand(8),), 0, "A", steps=3)
+
+    def test_elementwise_nonlinear_in_place(self):
+        @repro.program
+        def f(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                for i in range(N):
+                    A[i] = np.sin(A[i]) + 0.5 * A[i]
+            return np.sum(A)
+
+        check_grad(f, (rand(7),), 0, "A", steps=3)
+
+    def test_scalar_accumulator_with_sqrt(self):
+        @repro.program
+        def f(A: repro.float64[N, N], R: repro.float64[N, N]):
+            for k in range(N):
+                nrm = 0.0
+                for i in range(N):
+                    nrm += A[i, k] * A[i, k]
+                R[k, k] = np.sqrt(nrm)
+            return np.sum(R)
+
+        check_grad(f, (rand(5, 5), np.zeros((5, 5))), 0, "A")
+
+    def test_coupled_products_across_iterations(self):
+        @repro.program
+        def f(A: repro.float64[N], B: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                B[:] = B * A
+                A[:] = A + B * B
+            return np.sum(A)
+
+        check_grad(f, (rand(6), rand(6, seed=1)), 0, "A", steps=3)
+        check_grad(f, (rand(6), rand(6, seed=1)), 1, "B", steps=3)
+
+    def test_division_inside_loop(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(1, N):
+                A[i] = A[i] / (A[i - 1] + 2.0)
+            return np.sum(A)
+
+        check_grad(f, (rand(8),), 0, "A")
+
+
+class TestTriangularAndNestedLoops:
+    def test_triangular_update(self):
+        @repro.program
+        def f(A: repro.float64[N, N], B: repro.float64[N, N], alpha: repro.float64):
+            for i in range(N):
+                for j in range(i + 1, N):
+                    B[i, :] += A[j, i] * B[j, :]
+                B[i, :] = alpha * B[i, :]
+            return np.sum(B)
+
+        args = (rand(5, 5), rand(5, 5, seed=1), 1.3)
+        check_grad(f, args, 0, "A")
+        check_grad(f, args, 2, "alpha")
+
+    def test_nonlinear_triangular_with_dot(self):
+        @repro.program
+        def f(A: repro.float64[N, N]):
+            for i in range(N):
+                for j in range(i):
+                    A[i, j] = A[i, j] - A[i, :j] @ A[j, :j]
+            return np.sum(A)
+
+        check_grad(f, (rand(5, 5),), 0, "A", rel=1e-3)
+
+    def test_loop_bound_from_outer_iterator(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            for i in range(N):
+                for j in range(i, N):
+                    A[j] = A[j] * 0.9 + 0.01 * A[i] * A[i]
+            return np.sum(A)
+
+        check_grad(f, (rand(6),), 0, "A", rel=1e-3)
+
+
+class TestTapeMechanics:
+    def test_tape_arrays_created_only_when_needed(self):
+        @repro.program
+        def linear(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[1:] = A[1:] + A[:-1]
+            return np.sum(A)
+
+        @repro.program
+        def nonlinear(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[:] = A * A
+            return np.sum(A)
+
+        linear_result = repro.add_backward_pass(linear.to_sdfg())
+        nonlinear_result = repro.add_backward_pass(nonlinear.to_sdfg())
+        linear_tapes = [n for n in linear_result.sdfg.arrays if n.startswith("__tape")]
+        nonlinear_tapes = [n for n in nonlinear_result.sdfg.arrays if n.startswith("__tape")]
+        assert not linear_tapes, "linear loop bodies must not allocate tapes"
+        assert nonlinear_tapes, "nonlinear in-place loop bodies require a tape"
+
+    def test_gradient_of_loop_program_is_repeatable(self):
+        @repro.program
+        def f(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[:] = A * A * 0.5 + 0.3
+            return np.sum(A)
+
+        df = repro.grad(f, wrt="A")
+        A = rand(6)
+        first = df(A.copy(), steps=3)
+        second = df(A.copy(), steps=3)
+        np.testing.assert_allclose(first, second)
+
+    def test_empty_loop_range(self):
+        @repro.program
+        def f(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[:] = A * A
+            return np.sum(A)
+
+        df = repro.grad(f, wrt="A")
+        A = rand(5)
+        np.testing.assert_allclose(df(A.copy(), steps=0), np.ones(5))

@@ -1,0 +1,187 @@
+"""Gradients of the ML frontend (library-node models): the DaCeML-style path.
+
+These exercise conv2d / maxpool / dense / relu / softmax adjoints and the
+end-to-end model builder against finite differences.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.autodiff import add_backward_pass
+from repro.baselines.numerical import finite_difference_gradient
+from repro.codegen import compile_sdfg
+from repro.ml import Model, lenet5, mlp, resnet_block, softmax_classifier
+from repro.ml.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.ml import ops
+
+
+def build_gradient_callable(model: Model, input_shape, wrt, dtype=np.float64):
+    sdfg = model.build_sdfg(input_shape, dtype=dtype)
+    result = add_backward_pass(sdfg, inputs=[wrt])
+    compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names[wrt],
+                                                       result.output])
+    forward = compile_sdfg(sdfg)
+    return sdfg, forward, compiled, result
+
+
+class TestOperatorAdjoints:
+    """NumPy-level checks of the conv/pool/softmax adjoint helpers."""
+
+    def test_conv2d_backward_input_matches_fd(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 6, 6, 3))
+        w = rng.random((3, 3, 3, 4))
+        gout = rng.random((2, 4, 4, 4))
+
+        gx = ops.conv2d_backward_input(gout, w, x.shape)
+        fd = finite_difference_gradient(
+            lambda xv: float(np.sum(ops.conv2d(xv, w) * gout)), (x,), wrt=0, eps=1e-6
+        )
+        np.testing.assert_allclose(gx, fd, rtol=1e-5, atol=1e-7)
+
+    def test_conv2d_backward_weights_matches_fd(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((1, 5, 5, 2))
+        w = rng.random((3, 3, 2, 3))
+        gout = rng.random((1, 3, 3, 3))
+
+        gw = ops.conv2d_backward_weights(gout, x, w.shape)
+        fd = finite_difference_gradient(
+            lambda wv: float(np.sum(ops.conv2d(x, wv) * gout)), (w,), wrt=0, eps=1e-6
+        )
+        np.testing.assert_allclose(gw, fd, rtol=1e-5, atol=1e-7)
+
+    def test_maxpool_backward_matches_fd(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((1, 4, 4, 2))
+        gout = rng.random((1, 2, 2, 2))
+        gx = ops.maxpool2d_backward(gout, x, 2)
+        fd = finite_difference_gradient(
+            lambda xv: float(np.sum(ops.maxpool2d(xv, 2) * gout)), (x,), wrt=0, eps=1e-6
+        )
+        np.testing.assert_allclose(gx, fd, rtol=1e-4, atol=1e-6)
+
+    def test_softmax_backward_matches_fd(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((3, 5))
+        gout = rng.random((3, 5))
+        y = ops.softmax(x)
+        gx = ops.softmax_backward(gout, y)
+        fd = finite_difference_gradient(
+            lambda xv: float(np.sum(ops.softmax(xv) * gout)), (x,), wrt=0, eps=1e-6
+        )
+        np.testing.assert_allclose(gx, fd, rtol=1e-4, atol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(4)
+        y = ops.softmax(rng.random((4, 7)))
+        np.testing.assert_allclose(np.sum(y, axis=-1), np.ones(4), rtol=1e-12)
+
+
+class TestModelGradients:
+    def test_dense_relu_model_gradient_wrt_input(self):
+        model = Model(layers=[Dense(8, name="d0"), ReLU(name="r0"), Dense(3, name="d1")],
+                      name="tiny_mlp")
+        sdfg, forward, compiled, result = build_gradient_callable(model, (4, 6), wrt="x")
+        params = model.init_parameters(seed=0, dtype=np.float64)
+        rng = np.random.default_rng(5)
+        x = rng.random((4, 6))
+
+        def forward_value(xv):
+            return forward(x=xv, **params)
+
+        fd = finite_difference_gradient(lambda xv: forward_value(xv), (x,), wrt=0, eps=1e-6)
+        out = compiled(x=x, **params)
+        np.testing.assert_allclose(out[result.gradient_names["x"]], fd, rtol=1e-5, atol=1e-7)
+
+    def test_dense_model_gradient_wrt_weights(self):
+        model = Model(layers=[Dense(5, name="d0"), ReLU(name="r0"), Dense(2, name="d1")],
+                      name="tiny_mlp_w")
+        sdfg = model.build_sdfg((3, 4), dtype=np.float64)
+        params = model.init_parameters(seed=1, dtype=np.float64)
+        result = add_backward_pass(sdfg, inputs=["d0_w", "d1_b"])
+        compiled = compile_sdfg(result.sdfg,
+                                result_names=[result.gradient_names["d0_w"],
+                                              result.gradient_names["d1_b"]])
+        forward = compile_sdfg(sdfg)
+        rng = np.random.default_rng(6)
+        x = rng.random((3, 4))
+
+        fd_w = finite_difference_gradient(
+            lambda w: forward(x=x, **{**params, "d0_w": w}), (params["d0_w"],), wrt=0, eps=1e-6
+        )
+        fd_b = finite_difference_gradient(
+            lambda b: forward(x=x, **{**params, "d1_b": b}), (params["d1_b"],), wrt=0, eps=1e-6
+        )
+        out = compiled(x=x, **params)
+        np.testing.assert_allclose(out[result.gradient_names["d0_w"]], fd_w, rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(out[result.gradient_names["d1_b"]], fd_b, rtol=1e-5, atol=1e-7)
+
+    def test_conv_pool_model_gradient(self):
+        model = Model(layers=[Conv2D(2, 3, name="c0"), ReLU(name="r0"),
+                              MaxPool2D(2, name="p0"), Flatten(name="fl"),
+                              Dense(2, name="d0")], name="tiny_cnn")
+        sdfg = model.build_sdfg((1, 6, 6, 1), dtype=np.float64)
+        params = model.init_parameters(seed=2, dtype=np.float64)
+        result = add_backward_pass(sdfg, inputs=["c0_w"])
+        compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names["c0_w"]])
+        forward = compile_sdfg(sdfg)
+        rng = np.random.default_rng(7)
+        x = rng.random((1, 6, 6, 1))
+
+        fd = finite_difference_gradient(
+            lambda w: forward(x=x, **{**params, "c0_w": w}), (params["c0_w"],), wrt=0, eps=1e-5
+        )
+        out = compiled(x=x, **params)
+        np.testing.assert_allclose(out, fd, rtol=1e-4, atol=1e-6)
+
+    def test_softmax_model_gradient(self):
+        model = softmax_classifier(name="softmax_tiny")
+        sdfg = model.build_sdfg((3, 6), dtype=np.float64)
+        result = add_backward_pass(sdfg, inputs=["x"])
+        compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names["x"]])
+        forward = compile_sdfg(sdfg)
+        rng = np.random.default_rng(8)
+        x = rng.random((3, 6))
+
+        fd = finite_difference_gradient(lambda xv: forward(x=xv), (x,), wrt=0, eps=1e-6)
+        out = compiled(x=x)
+        np.testing.assert_allclose(out, fd, rtol=1e-4, atol=1e-6)
+
+    def test_resnet_block_gradient(self):
+        model = resnet_block(channels=2, name="resnet_tiny")
+        sdfg = model.build_sdfg((1, 5, 5, 2), dtype=np.float64)
+        params = model.init_parameters(seed=3, dtype=np.float64)
+        result = add_backward_pass(sdfg, inputs=["x"])
+        compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names["x"]])
+        forward = compile_sdfg(sdfg)
+        rng = np.random.default_rng(9)
+        x = rng.random((1, 5, 5, 2))
+
+        fd = finite_difference_gradient(lambda xv: forward(x=xv, **params), (x,), wrt=0, eps=1e-5)
+        out = compiled(x=x, **params)
+        np.testing.assert_allclose(out, fd, rtol=1e-4, atol=1e-6)
+
+
+class TestReferenceModels:
+    def test_lenet_builds_and_runs_forward(self):
+        model = lenet5(num_classes=10, name="lenet_test")
+        sdfg = model.build_sdfg((2, 28, 28, 1), dtype=np.float32)
+        params = model.init_parameters(seed=0, dtype=np.float32)
+        forward = compile_sdfg(sdfg)
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 28, 28, 1)).astype(np.float32)
+        value = forward(x=x, **params)
+        assert np.isfinite(value)
+
+    def test_mlp_gradient_is_finite(self):
+        model = mlp(hidden=(16,), num_classes=4, name="mlp_test")
+        sdfg = model.build_sdfg((3, 10), dtype=np.float64)
+        params = model.init_parameters(seed=1, dtype=np.float64)
+        result = add_backward_pass(sdfg, inputs=["d0_w"])
+        compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names["d0_w"]])
+        rng = np.random.default_rng(1)
+        gradient = compiled(x=rng.random((3, 10)), **params)
+        assert np.all(np.isfinite(gradient))
+        assert gradient.shape == params["d0_w"].shape

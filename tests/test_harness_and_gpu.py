@@ -1,0 +1,114 @@
+"""Tests for the benchmark harness, reporting helpers and the GPU model."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.gpu import V100, estimate_gpu_runtime
+from repro.harness import (
+    PAPER_FIGURE1_SPEEDUPS,
+    PAPER_TABLE1,
+    format_table,
+    geometric_mean,
+    measure,
+    run_kernel_comparison,
+    speedup_summary,
+    write_csv,
+)
+from repro.npbench import get_kernel
+
+N = repro.symbol("N")
+
+
+class TestMeasure:
+    def test_measure_collects_repeats_and_value(self):
+        calls = []
+        result = measure(lambda: calls.append(1) or 7, label="x", repeats=4, warmup=2)
+        assert len(result.times) == 4
+        assert len(calls) == 6
+        assert result.value == 7
+
+    def test_confidence_interval_brackets_mean(self):
+        result = measure(lambda: sum(range(1000)), repeats=5, warmup=0)
+        low, high = result.confidence_interval()
+        assert low <= result.mean <= high
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+
+    def test_format_table_alignment(self):
+        text = format_table(["kernel", "speedup"], [["atax", 1.21], ["trmm", 227.09]],
+                            title="demo")
+        assert "kernel" in text and "227" in text
+        assert len(text.splitlines()) == 5
+
+    def test_write_csv(self, tmp_path):
+        path = os.path.join(tmp_path, "out.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            content = handle.read()
+        assert "a,b" in content and "3,4" in content
+
+    def test_paper_reference_data_is_consistent(self):
+        assert PAPER_FIGURE1_SPEEDUPS["seidel2d"] > 1000
+        assert PAPER_TABLE1["DaCe AD (this work)"]["automatic checkpointing"] == "yes"
+        assert all(len(row) == 6 for row in PAPER_TABLE1.values())
+
+
+class TestKernelComparison:
+    def test_run_kernel_comparison_produces_speedup(self):
+        spec = get_kernel("jacobi1d")
+        result = run_kernel_comparison(spec, preset="S", repeats=2, warmup=1)
+        assert result.dace.median > 0
+        assert result.jaxlike is not None and result.jaxlike.median > 0
+        assert result.speedup is not None and result.speedup > 0
+        assert result.dace_loc > 0 and result.jaxlike_loc > 0
+
+    def test_speedup_summary_aggregates(self):
+        spec = get_kernel("atax")
+        results = [run_kernel_comparison(spec, preset="S", repeats=2, warmup=1)]
+        summary = speedup_summary(results)
+        assert summary["count"] == 1
+        assert summary["geomean"] > 0
+
+
+class TestGPUModel:
+    def test_vectorized_program_dominated_by_roofline(self):
+        @repro.program
+        def f(A: repro.float64[N, N], B: repro.float64[N, N]):
+            C = A @ B
+            return np.sum(C)
+
+        estimate = estimate_gpu_runtime(f.to_sdfg(), {"N": 2048})
+        assert estimate["simulated"] is True
+        assert estimate["roofline_time"] > estimate["launch_time"]
+
+    def test_loop_program_dominated_by_launch_overhead(self):
+        @repro.program
+        def g(A: repro.float64[N], T: repro.int64):
+            for t in range(T):
+                for i in range(1, N - 1):
+                    A[i] = 0.5 * (A[i - 1] + A[i + 1])
+            return np.sum(A)
+
+        estimate = estimate_gpu_runtime(g.to_sdfg(), {"N": 64, "T": 50})
+        assert estimate["launch_time"] > estimate["roofline_time"]
+
+    def test_larger_problem_takes_longer(self):
+        @repro.program
+        def f(A: repro.float64[N, N], B: repro.float64[N, N]):
+            C = A @ B
+            return np.sum(C)
+
+        small = estimate_gpu_runtime(f.to_sdfg(), {"N": 256})["total_time"]
+        large = estimate_gpu_runtime(f.to_sdfg(), {"N": 1024})["total_time"]
+        assert large > small
+
+    def test_device_parameters_are_v100_like(self):
+        assert V100.peak_flops == pytest.approx(7.0e12)
+        assert V100.peak_bandwidth == pytest.approx(900e9)

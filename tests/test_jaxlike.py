@@ -1,0 +1,166 @@
+"""Tests for the jaxlike baseline: functional semantics, AD correctness and
+agreement with the DaCe-AD engine on shared programs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import jaxlike
+from repro.baselines.jaxlike import lax
+from repro.baselines.jaxlike import numpy_api as jnp
+from repro.baselines.numerical import finite_difference_gradient
+
+
+def rand(*shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(shape) + 0.1
+
+
+class TestFunctionalSemantics:
+    def test_arrays_are_immutable(self):
+        x = jnp.zeros((4,))
+        with pytest.raises((ValueError, TypeError)):
+            x.value[0] = 1.0
+
+    def test_at_set_returns_new_array(self):
+        x = jnp.zeros((4,))
+        y = x.at[1].set(5.0)
+        assert y.value[1] == 5.0
+        assert x.value[1] == 0.0
+
+    def test_at_add_accumulates(self):
+        x = jnp.ones((3,))
+        y = x.at[0].add(2.0)
+        np.testing.assert_allclose(y.value, [3.0, 1.0, 1.0])
+
+    def test_dynamic_slice_clamps_bounds(self):
+        x = jaxlike.asarray(np.arange(10.0))
+        sliced = lax.dynamic_slice(x, (8,), (5,))
+        np.testing.assert_allclose(sliced.value, [5.0, 6.0, 7.0, 8.0, 9.0])
+
+    def test_dynamic_update_slice(self):
+        x = jnp.zeros((5,))
+        y = lax.dynamic_update_slice(x, jaxlike.asarray([1.0, 2.0]), (3,))
+        np.testing.assert_allclose(y.value, [0, 0, 0, 1.0, 2.0])
+        assert np.all(x.value == 0)
+
+    def test_scan_matches_python_loop(self):
+        def body(carry, _):
+            return carry * 1.1 + 1.0, None
+
+        carry, _ = lax.scan(body, jaxlike.asarray(1.0), length=5)
+        expected = 1.0
+        for _ in range(5):
+            expected = expected * 1.1 + 1.0
+        assert float(carry) == pytest.approx(expected)
+
+    def test_cond_selects_branch(self):
+        x = jaxlike.asarray(2.0)
+        result = lax.cond(x > 1.0, lambda v: v * 10.0, lambda v: v, x)
+        assert float(result) == pytest.approx(20.0)
+
+    def test_jit_is_transparent(self):
+        @jaxlike.jit
+        def f(x):
+            return jnp.sum(x * x)
+
+        assert float(f(jaxlike.asarray([1.0, 2.0]))) == pytest.approx(5.0)
+
+
+class TestJaxlikeGradients:
+    @pytest.mark.parametrize(
+        "fn, x",
+        [
+            (lambda x: jnp.sum(jnp.sin(x)), rand(6)),
+            (lambda x: jnp.sum(x * x * 2.0 + x), rand(6)),
+            (lambda x: jnp.sum(jnp.exp(x) / (1.0 + x)), rand(6)),
+            (lambda x: jnp.sum(jnp.maximum(x - 0.5, 0.1 * x)), rand(20)),
+            (lambda x: jnp.sum(jnp.matmul(x, x)), rand(4, 4)),
+            (lambda x: jnp.sum(jnp.tanh(x) @ x.T), rand(3, 5)),
+            (lambda x: jnp.mean(jnp.sqrt(x)), rand(7)),
+            (lambda x: jnp.sum(jnp.where(x > 0.5, x * x, x)), rand(15)),
+        ],
+    )
+    def test_matches_finite_differences(self, fn, x):
+        gradient = jaxlike.grad(fn)(x)
+        fd = finite_difference_gradient(lambda v: float(fn(jaxlike.asarray(v)).value), (x,), 0)
+        np.testing.assert_allclose(gradient, fd, rtol=1e-5, atol=1e-7)
+
+    def test_indexed_update_gradient(self):
+        def fn(x):
+            y = x.at[0].set(x[1] * x[2])
+            return jnp.sum(y * y)
+
+        x = rand(5)
+        gradient = jaxlike.grad(fn)(x)
+        fd = finite_difference_gradient(lambda v: float(fn(jaxlike.asarray(v)).value), (x,), 0)
+        np.testing.assert_allclose(gradient, fd, rtol=1e-5, atol=1e-7)
+
+    def test_scan_gradient(self):
+        def fn(x):
+            def body(carry, _):
+                return carry * x, None
+
+            carry, _ = lax.scan(body, jaxlike.asarray(1.0), length=4)
+            return carry
+
+        x = 1.3
+        gradient = jaxlike.grad(fn)(np.asarray(x))
+        assert float(gradient) == pytest.approx(4 * x**3, rel=1e-6)
+
+    def test_value_and_grad_and_multiple_argnums(self):
+        def fn(a, b):
+            return jnp.sum(a * b + a)
+
+        a, b = rand(4), rand(4, seed=1)
+        value, (ga, gb) = jaxlike.value_and_grad(fn, argnums=(0, 1))(a, b)
+        assert value == pytest.approx(np.sum(a * b + a))
+        np.testing.assert_allclose(ga, b + 1)
+        np.testing.assert_allclose(gb, a)
+
+    def test_non_scalar_output_rejected(self):
+        with pytest.raises(ValueError):
+            jaxlike.grad(lambda x: x * 2)(rand(3))
+
+
+class TestAgreementWithDaceAD:
+    """Both engines must agree on the same mathematical program."""
+
+    def test_stencil_loop_agreement(self):
+        N = repro.symbol("N")
+
+        @repro.program
+        def dace_version(A: repro.float64[N], steps: repro.int64):
+            for t in range(steps):
+                A[1:-1] = 0.5 * (A[:-2] + A[2:]) * A[1:-1]
+            return np.sum(A)
+
+        def jax_version(A, steps):
+            def body(carry, _):
+                inner = 0.5 * (carry[:-2] + carry[2:]) * carry[1:-1]
+                carry = lax.dynamic_update_slice(carry, inner, (1,))
+                return carry, None
+
+            carry, _ = lax.scan(body, A, length=steps)
+            return jnp.sum(carry)
+
+        A = rand(12)
+        dace_grad = repro.grad(dace_version, wrt="A")(A.copy(), steps=3)
+        jax_grad = jaxlike.grad(lambda a: jax_version(a, 3))(A.copy())
+        np.testing.assert_allclose(dace_grad, jax_grad, rtol=1e-8)
+
+    def test_matmul_agreement(self):
+        N = repro.symbol("N")
+
+        @repro.program
+        def dace_version(A: repro.float64[N, N], B: repro.float64[N, N]):
+            C = np.sin(A @ B)
+            return np.sum(C)
+
+        def jax_version(A, B):
+            return jnp.sum(jnp.sin(jnp.matmul(A, B)))
+
+        A, B = rand(5, 5), rand(5, 5, seed=1)
+        dace_result = repro.grad(dace_version, wrt="A")(A.copy(), B.copy())
+        jax_result = jaxlike.grad(jax_version)(A, B)
+        np.testing.assert_allclose(dace_result, jax_result, rtol=1e-8)

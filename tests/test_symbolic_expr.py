@@ -1,0 +1,254 @@
+"""Unit tests for the symbolic expression tree, parser and code emission."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic import (
+    BinOp,
+    Call,
+    Compare,
+    Const,
+    IfExp,
+    Sym,
+    UnOp,
+    as_expr,
+    evaluate,
+    free_symbols,
+    parse_expr,
+    simplify,
+    substitute,
+    symbols,
+    to_python,
+)
+from repro.util.errors import FrontendError
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        x, y = symbols("x y")
+        expr = x * 2 + y
+        assert isinstance(expr, BinOp)
+        assert expr.op == "+"
+        assert evaluate(expr, {"x": 3, "y": 4}) == 10
+
+    def test_reflected_operators(self):
+        x = Sym("x")
+        assert evaluate(2 - x, {"x": 1}) == 1
+        assert evaluate(2 / x, {"x": 4}) == 0.5
+        assert evaluate(2 ** x, {"x": 3}) == 8
+
+    def test_negation(self):
+        x = Sym("x")
+        assert evaluate(-x, {"x": 5}) == -5
+
+    def test_as_expr_numbers(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr(2.5) == Const(2.5)
+        assert as_expr(np.int64(7)) == Const(7)
+
+    def test_as_expr_string(self):
+        expr = as_expr("i + 1")
+        assert expr.free_symbols() == {"i"}
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expr(object())
+
+    def test_structural_equality_and_hash(self):
+        a = Sym("x") + 1
+        b = Sym("x") + 1
+        assert a == b
+        assert hash(a) == hash(b)
+        assert (Sym("x") + 2) != a
+
+    def test_free_symbols(self):
+        expr = parse_expr("a * b + sin(c) - 3")
+        assert expr.free_symbols() == {"a", "b", "c"}
+        assert free_symbols(3) == set()
+
+    def test_contains_symbol(self):
+        expr = parse_expr("x * y")
+        assert expr.contains_symbol("x")
+        assert not expr.contains_symbol("z")
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "source, env, expected",
+        [
+            ("1 + 2 * 3", {}, 7),
+            ("(1 + 2) * 3", {}, 9),
+            ("x ** 2", {"x": 4}, 16),
+            ("x // 2", {"x": 7}, 3),
+            ("x % 3", {"x": 7}, 1),
+            ("-x", {"x": 2}, -2),
+            ("x < y", {"x": 1, "y": 2}, True),
+            ("x >= y", {"x": 1, "y": 2}, False),
+            ("x == y", {"x": 2, "y": 2}, True),
+            ("x != y", {"x": 2, "y": 2}, False),
+            ("x if c else y", {"x": 1, "y": 2, "c": True}, 1),
+            ("a and b", {"a": True, "b": False}, False),
+            ("a or b", {"a": False, "b": True}, True),
+            ("not a", {"a": False}, True),
+        ],
+    )
+    def test_parse_and_evaluate(self, source, env, expected):
+        assert evaluate(parse_expr(source), env) == expected
+
+    @pytest.mark.parametrize(
+        "source, env, expected",
+        [
+            ("np.sin(x)", {"x": 0.5}, np.sin(0.5)),
+            ("numpy.exp(x)", {"x": 1.0}, np.exp(1.0)),
+            ("math.sqrt(x)", {"x": 4.0}, 2.0),
+            ("np.maximum(x, y)", {"x": 1.0, "y": 3.0}, 3.0),
+            ("np.fabs(x)", {"x": -2.0}, 2.0),
+            ("np.power(x, 3)", {"x": 2.0}, 8.0),
+        ],
+    )
+    def test_intrinsic_calls(self, source, env, expected):
+        assert evaluate(parse_expr(source), env) == pytest.approx(expected)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_expr("np.fft(x)")
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_expr("a < b < c")
+
+    def test_string_constant_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_expr("'hello'")
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "source, expected",
+        [
+            ("x * 1", "x"),
+            ("1 * x", "x"),
+            ("x * 0", "0"),
+            ("x + 0", "x"),
+            ("0 + x", "x"),
+            ("x - 0", "x"),
+            ("x - x", "0"),
+            ("x / 1", "x"),
+            ("0 / x", "0"),
+            ("x ** 1", "x"),
+            ("x ** 0", "1"),
+            ("2 + 3", "5"),
+            ("2 * 3 + 1", "7"),
+            ("-(-x)", "x"),
+        ],
+    )
+    def test_identities(self, source, expected):
+        assert simplify(parse_expr(source)) == parse_expr(expected)
+
+    def test_constant_condition_folds(self):
+        expr = IfExp(Compare(">", Const(3), Const(1)), Sym("a"), Sym("b"))
+        assert simplify(expr) == Sym("a")
+
+    def test_constant_call_folds(self):
+        assert simplify(parse_expr("np.sqrt(4.0)")) == Const(2.0)
+
+    def test_division_by_zero_not_folded(self):
+        expr = simplify(parse_expr("1 / 0"))
+        assert isinstance(expr, BinOp)
+
+    def test_simplify_preserves_value(self):
+        rng = np.random.default_rng(0)
+        expr = parse_expr("(x + 0) * 1 + (y - y) + 2 * 3 * z ** 1")
+        simplified = simplify(expr)
+        for _ in range(10):
+            env = {name: rng.normal() for name in "xyz"}
+            assert evaluate(expr, env) == pytest.approx(evaluate(simplified, env))
+
+
+class TestSubstitute:
+    def test_substitute_symbol(self):
+        expr = parse_expr("x + y")
+        out = substitute(expr, {"x": 3})
+        assert evaluate(out, {"y": 4}) == 7
+
+    def test_substitute_with_expression(self):
+        expr = parse_expr("x * x")
+        out = substitute(expr, {"x": parse_expr("i + 1")})
+        assert evaluate(out, {"i": 2}) == 9
+
+    def test_substitute_all_node_kinds(self):
+        expr = parse_expr("np.sin(x) + (a if x > 0 else b) - (c and d)")
+        out = substitute(expr, {"x": 1.0, "a": 2.0, "b": 3.0, "c": True, "d": True})
+        assert out.free_symbols() == set()
+
+
+class TestEvaluate:
+    def test_array_broadcast(self):
+        expr = parse_expr("a * b + 1")
+        a = np.arange(4.0)
+        b = np.full(4, 2.0)
+        np.testing.assert_allclose(evaluate(expr, {"a": a, "b": b}), a * b + 1)
+
+    def test_where_on_arrays(self):
+        expr = parse_expr("x if x > 0 else 0")
+        x = np.array([-1.0, 2.0, -3.0])
+        np.testing.assert_allclose(evaluate(expr, {"x": x}), [0.0, 2.0, 0.0])
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(parse_expr("x + 1"), {})
+
+    def test_unary_not_on_array(self):
+        expr = UnOp("not", Sym("m"))
+        np.testing.assert_array_equal(
+            evaluate(expr, {"m": np.array([True, False])}), [False, True]
+        )
+
+
+class TestCodeEmit:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - (b - c)",
+            "a / (b + c)",
+            "a ** 2 + np.sin(b)",
+            "-a + b",
+            "a - -b",
+            "(a + b) ** (c - 1)",
+            "np.maximum(a, b) * np.minimum(a, c)",
+            "a if b > 0 else c",
+            "np.abs(a) * np.sign(b)",
+        ],
+    )
+    def test_roundtrip_matches_evaluate(self, source):
+        rng = np.random.default_rng(1)
+        expr = parse_expr(source)
+        code = to_python(expr)
+        for _ in range(5):
+            env = {name: float(rng.uniform(0.5, 2.0)) for name in "abc"}
+            emitted = eval(code, {"np": np}, dict(env))
+            assert emitted == pytest.approx(evaluate(expr, env))
+
+    def test_rename_connectors(self):
+        expr = parse_expr("inA * 2 + inB")
+        code = to_python(expr, rename={"inA": "A[i, j]", "inB": "B[j]"})
+        assert "A[i, j]" in code and "B[j]" in code
+
+    def test_vectorized_where(self):
+        expr = parse_expr("a if a > 0 else 0")
+        code = to_python(expr, vectorized=True)
+        assert "np.where" in code
+        a = np.array([-1.0, 1.0])
+        np.testing.assert_allclose(eval(code, {"np": np}, {"a": a}), [0.0, 1.0])
+
+    def test_vectorized_boolop(self):
+        expr = parse_expr("(a > 0) and (b > 0)")
+        code = to_python(expr, vectorized=True)
+        assert "np.logical_and" in code
+
+    def test_negative_constant_parenthesized(self):
+        expr = BinOp("*", Sym("x"), Const(-2))
+        code = to_python(expr)
+        assert eval(code, {"np": np}, {"x": 3.0}) == -6.0
