@@ -10,6 +10,9 @@ where available.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 
 from repro.harness import (
@@ -67,3 +70,14 @@ def gradient_runners(kernel_name: str, preset: str = "paper"):
 
 def _ms(seconds) -> float | None:
     return seconds * 1e3 if seconds is not None else None
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Persist one benchmark's results as JSON under ``benchmarks/results/``
+    (and return the path), so runs can be compared across commits."""
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results", name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,91 @@
+"""Micro-benchmark: cold vs. warm compilation through the pipeline cache.
+
+Compiles the gradient of the seidel2d case study (paper Section V-B) through
+``repro.pipeline.compile_gradient`` twice: once against an empty
+:class:`CompilationCache` (cold — simplification, reverse-mode AD and codegen
+all run) and once against the primed cache (warm — a content hash plus a
+dictionary lookup).  Emits the timings as JSON via ``_common.write_json`` and,
+when run under pytest as part of the smoke suite, asserts the warm path is at
+least 10x faster.
+
+Run with:  python benchmarks/bench_pipeline_cache.py
+      or:  python -m pytest benchmarks/bench_pipeline_cache.py -q -s
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _common import write_json
+
+from repro.harness import format_table
+from repro.npbench import get_kernel
+from repro.pipeline import CompilationCache, compile_gradient
+
+COLD_REPEATS = 5
+WARM_REPEATS = 20
+
+
+def run_cache_benchmark(preset: str = "paper") -> dict:
+    spec = get_kernel("seidel2d")
+    # Lower once: the benchmark measures recompilation of an identical,
+    # already-registered program, not Python parsing.
+    sdfg = spec.program_for(preset).to_sdfg()
+
+    cold_times = []
+    for _ in range(COLD_REPEATS):
+        cache = CompilationCache()
+        start = time.perf_counter()
+        compile_gradient(sdfg, wrt=[spec.wrt], cache=cache)
+        cold_times.append(time.perf_counter() - start)
+
+    cache = CompilationCache()
+    cold_outcome = compile_gradient(sdfg, wrt=[spec.wrt], cache=cache)
+    warm_times = []
+    for _ in range(WARM_REPEATS):
+        start = time.perf_counter()
+        warm_outcome = compile_gradient(sdfg, wrt=[spec.wrt], cache=cache)
+        warm_times.append(time.perf_counter() - start)
+    assert warm_outcome.cache_hit
+    assert warm_outcome.compiled is cold_outcome.compiled
+
+    cold = statistics.median(cold_times)
+    warm = statistics.median(warm_times)
+    payload = {
+        "benchmark": "pipeline_cache",
+        "kernel": "seidel2d",
+        "preset": preset,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm,
+        "cold_repeats": COLD_REPEATS,
+        "warm_repeats": WARM_REPEATS,
+        "per_pass_cold_seconds": {
+            record.name: record.seconds for record in cold_outcome.report.records
+        },
+        "cache": {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "entries": len(cache),
+        },
+    }
+    path = write_json("pipeline_cache.json", payload)
+    print()
+    print(format_table(
+        ["phase", "median [ms]", "repeats"],
+        [["cold compile", cold * 1e3, COLD_REPEATS],
+         ["warm (cache hit)", warm * 1e3, WARM_REPEATS]],
+        title=f"pipeline cache, seidel2d/{preset}: {cold / warm:.0f}x warm speedup",
+    ))
+    print(f"results written to {path}")
+    return payload
+
+
+def test_warm_cache_recompile_is_10x_faster():
+    payload = run_cache_benchmark()
+    assert payload["speedup"] >= 10.0
+
+
+if __name__ == "__main__":
+    run_cache_benchmark()

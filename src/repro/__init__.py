@@ -4,7 +4,9 @@ Public API re-exported here:
 
 * frontend: :func:`program`, :func:`symbol`, dtype annotations
 * IR: :class:`SDFG`
-* code generation: :func:`compile_sdfg`
+* compilation: :func:`compile` (the pipeline driver) and the low-level
+  :func:`compile_sdfg`
+* AD: :func:`grad`, :func:`value_and_grad`
 """
 
 from repro.frontend import (
@@ -26,8 +28,14 @@ from repro.autodiff import (
     grad,
     value_and_grad,
 )
+from repro.pipeline import (
+    CompilationCache,
+    PassManager,
+    PipelineReport,
+    compile,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Program",
@@ -40,7 +48,12 @@ __all__ = [
     "int64",
     "boolean",
     "SDFG",
+    # NB: repro.compile is a module attribute but deliberately NOT in __all__,
+    # so `from repro import *` does not shadow the builtin compile().
     "compile_sdfg",
+    "CompilationCache",
+    "PassManager",
+    "PipelineReport",
     "GradientFunction",
     "add_backward_pass",
     "grad",

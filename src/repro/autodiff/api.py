@@ -4,27 +4,26 @@ Mirrors the ergonomics of JAX's ``jax.grad`` while requiring **no code
 changes** to the NumPy program being differentiated (the paper's headline
 usability property): the function is parsed, differentiated at the IR level
 and compiled to NumPy code that computes the gradients.
+
+Since the pipeline refactor both entry points are thin wrappers over
+:func:`repro.pipeline.compile_gradient`: simplification (at ``optimize="O1"``,
+the default), checkpointing selection, reversal and codegen run as pipeline
+stages, the per-stage timings land on ``GradientFunction.report`` and repeated
+calls on an unchanged program hit the compilation cache.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-import numpy as np
-
-from repro.autodiff.engine import BackwardPassResult, add_backward_pass
-from repro.codegen import compile_sdfg
-from repro.frontend import Program, parse_function
+from repro.autodiff.engine import BackwardPassResult
 from repro.ir import SDFG
-from repro.util.errors import AutodiffError
 
 
 def _to_sdfg(func_or_program) -> SDFG:
-    if isinstance(func_or_program, SDFG):
-        return func_or_program
-    if isinstance(func_or_program, Program):
-        return func_or_program.to_sdfg()
-    return parse_function(func_or_program)
+    from repro.pipeline.driver import to_sdfg
+
+    return to_sdfg(func_or_program)
 
 
 class GradientFunction:
@@ -34,6 +33,10 @@ class GradientFunction:
     gradients with respect to ``wrt`` (a single array if one input was
     requested, otherwise a dict keyed by input name).  With
     ``return_value=True`` the forward output value is returned as well.
+
+    The compilation itself runs through the pass pipeline; ``.report`` holds
+    the per-stage timings (``print(df.report.pretty())``) and ``.cache_hit``
+    says whether this instance reused a previously compiled program.
     """
 
     def __init__(
@@ -43,23 +46,31 @@ class GradientFunction:
         strategy=None,
         return_value: bool = False,
         output: Optional[str] = None,
+        optimize: str = "O1",
+        symbol_values=None,
+        cache=None,
+        extra_passes: Sequence = (),
     ) -> None:
+        from repro.pipeline.driver import compile_gradient
+
         self.forward_sdfg = _to_sdfg(func_or_program)
-        if isinstance(wrt, str):
-            wrt = [wrt]
-        self.result: BackwardPassResult = add_backward_pass(
-            self.forward_sdfg, output=output, inputs=wrt, strategy=strategy
+        outcome = compile_gradient(
+            self.forward_sdfg,
+            wrt=wrt,
+            output=output,
+            checkpointing=strategy,
+            return_value=return_value,
+            optimize=optimize,
+            symbol_values=symbol_values,
+            cache=cache,
+            extra_passes=extra_passes,
         )
+        self.result: BackwardPassResult = outcome.artifacts["backward"]
         self.wrt = list(self.result.gradient_names)
         self.return_value = return_value
-        result_names = [self.result.gradient_names[name] for name in self.wrt]
-        if return_value:
-            result_names = result_names + [self.result.output]
-        self.compiled = compile_sdfg(
-            self.result.sdfg,
-            func_name=f"__grad_{self.result.sdfg.name}",
-            result_names=result_names,
-        )
+        self.compiled = outcome.compiled
+        self.report = outcome.report
+        self.cache_hit = outcome.cache_hit
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -90,7 +101,8 @@ class GradientFunction:
         return f"GradientFunction({self.result.sdfg.name!r}, wrt={self.wrt})"
 
 
-def grad(func_or_program, wrt=None, strategy=None, output=None) -> GradientFunction:
+def grad(func_or_program, wrt=None, strategy=None, output=None,
+         optimize: str = "O1") -> GradientFunction:
     """Reverse-mode gradient of a scalar-output program.
 
     Examples
@@ -103,11 +115,15 @@ def grad(func_or_program, wrt=None, strategy=None, output=None) -> GradientFunct
     >>> df(np.ones(4))            # doctest: +SKIP
     array([0.54, 0.54, 0.54, 0.54])
     """
-    return GradientFunction(func_or_program, wrt=wrt, strategy=strategy, output=output)
+    return GradientFunction(
+        func_or_program, wrt=wrt, strategy=strategy, output=output, optimize=optimize
+    )
 
 
-def value_and_grad(func_or_program, wrt=None, strategy=None, output=None) -> GradientFunction:
+def value_and_grad(func_or_program, wrt=None, strategy=None, output=None,
+                   optimize: str = "O1") -> GradientFunction:
     """Like :func:`grad` but also returns the forward value."""
     return GradientFunction(
-        func_or_program, wrt=wrt, strategy=strategy, return_value=True, output=output
+        func_or_program, wrt=wrt, strategy=strategy, return_value=True, output=output,
+        optimize=optimize,
     )

@@ -47,6 +47,12 @@ class CheckpointingStrategy:
     def decide(self, sdfg: SDFG, candidates: Sequence[RematCandidate]) -> dict[str, str]:
         return {candidate.key: "store" for candidate in candidates}
 
+    def cache_fingerprint(self) -> tuple:
+        """Identity of this strategy's *configuration* for the compilation
+        cache (diagnostic state such as ``last_report`` must not leak in).
+        Subclasses with configuration must extend this."""
+        return ()
+
 
 class StoreAll(CheckpointingStrategy):
     """Store every forwarded value (the default of most AD frameworks)."""
@@ -67,6 +73,9 @@ class UserSelection(CheckpointingStrategy):
 
     def __init__(self, recompute: Sequence[str]) -> None:
         self.recompute = set(recompute)
+
+    def cache_fingerprint(self) -> tuple:
+        return (tuple(sorted(self.recompute)),)
 
     def decide(self, sdfg, candidates):
         return {
@@ -124,6 +133,15 @@ class ILPCheckpointing(CheckpointingStrategy):
         self.solver = solver
         self.include_arguments = include_arguments
         self.last_report: Optional[ILPReport] = None
+
+    def cache_fingerprint(self) -> tuple:
+        from repro.pipeline.cache import stable_repr, unique_token
+
+        symbols = tuple(
+            (name, stable_repr(value) or unique_token())
+            for name, value in sorted(self.symbol_values.items())
+        )
+        return (self.memory_limit_mib, self.solver, self.include_arguments, symbols)
 
     def decide(self, sdfg: SDFG, candidates: Sequence[RematCandidate]) -> dict[str, str]:
         if not candidates:

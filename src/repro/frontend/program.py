@@ -65,6 +65,7 @@ class Program:
         self.name = name or func.__name__
         self._sdfg: Optional[SDFG] = None
         self._compiled = None
+        self._compiled_optimize: Optional[str] = None
 
     # -- compilation pipeline ------------------------------------------------
     def to_sdfg(self) -> SDFG:
@@ -77,17 +78,25 @@ class Program:
     def sdfg(self) -> SDFG:
         return self.to_sdfg()
 
-    def compile(self):
-        """Generate and cache executable forward code."""
-        if self._compiled is None:
-            from repro.codegen import compile_sdfg
+    def compile(self, optimize: str = "O1"):
+        """Compile executable forward code through the pass pipeline.
 
-            self._compiled = compile_sdfg(self.to_sdfg())
+        The result is memoised per instance *and* in the process-wide
+        compilation cache, so distinct :class:`Program` objects wrapping the
+        same source share one compiled artifact.
+        """
+        if self._compiled is None or self._compiled_optimize != optimize:
+            from repro.pipeline.driver import compile_forward
+
+            self._compiled = compile_forward(self.to_sdfg(), optimize).compiled
+            self._compiled_optimize = optimize
         return self._compiled
 
     # -- execution -------------------------------------------------------------
     def __call__(self, *args, **kwargs):
-        compiled = self.compile()
+        # Reuse whatever level was last compiled (an explicit compile(optimize=
+        # "O0") must not be silently recompiled at the default level).
+        compiled = self._compiled if self._compiled is not None else self.compile()
         return compiled(*args, **kwargs)
 
     def __repr__(self) -> str:

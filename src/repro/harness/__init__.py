@@ -14,6 +14,7 @@ from repro.harness.runners import (
     run_kernel_comparison,
 )
 from repro.harness.report import (
+    format_pipeline_report,
     format_table,
     geometric_mean,
     speedup_summary,
@@ -32,6 +33,7 @@ __all__ = [
     "dace_gradient_runner",
     "jaxlike_gradient_runner",
     "run_kernel_comparison",
+    "format_pipeline_report",
     "format_table",
     "geometric_mean",
     "speedup_summary",

@@ -58,6 +58,33 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
+def format_pipeline_report(report) -> str:
+    """Plain-text rendering of a :class:`repro.pipeline.PipelineReport`:
+    one row per pass with wall time, IR size before/after and diagnostics."""
+    rows = []
+    for record in report.records:
+        notes = ", ".join(f"{k}={v}" for k, v in record.info.items())
+        rows.append(
+            [
+                record.name,
+                record.seconds * 1e3,
+                record.nodes_before,
+                record.nodes_after,
+                f"{record.delta:+d}" if record.delta else "0",
+                notes,
+            ]
+        )
+    suffix = " (cache hit)" if getattr(report, "cache_hit", False) else ""
+    title = (
+        f"pipeline {report.pipeline}: {report.total_seconds * 1e3:.2f} ms total{suffix}"
+    )
+    return format_table(
+        ["pass", "time [ms]", "IR before", "IR after", "delta", "notes"],
+        rows,
+        title=title,
+    )
+
+
 def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
     """Persist results so figures can be regenerated without rerunning."""
     with open(path, "w", newline="") as handle:

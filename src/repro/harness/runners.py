@@ -7,10 +7,9 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.autodiff import add_backward_pass
-from repro.codegen import compile_sdfg
 from repro.harness.measure import Measurement, measure
 from repro.npbench.registry import KernelSpec
+from repro.pipeline import compile_gradient
 
 
 def _copy_data(data: dict) -> dict:
@@ -19,18 +18,23 @@ def _copy_data(data: dict) -> dict:
 
 
 def dace_gradient_runner(spec: KernelSpec, preset: str = "S",
-                         strategy=None) -> Callable[[dict], np.ndarray]:
-    """Compile the DaCe-AD gradient of a kernel once; the returned callable
-    computes the gradient for one data dictionary."""
+                         strategy=None, optimize: str = "O1") -> Callable[[dict], np.ndarray]:
+    """Compile the DaCe-AD gradient of a kernel once (through the pass
+    pipeline); the returned callable computes the gradient for one data
+    dictionary."""
     program = spec.program_for(preset)
-    result = add_backward_pass(program.to_sdfg(), inputs=[spec.wrt], strategy=strategy)
-    compiled = compile_sdfg(result.sdfg, result_names=[result.gradient_names[spec.wrt]])
+    outcome = compile_gradient(
+        program, wrt=[spec.wrt], checkpointing=strategy, optimize=optimize
+    )
+    compiled = outcome.compiled
+    result = outcome.artifacts["backward"]
 
     def run(data: dict):
         return compiled(**_copy_data(data))
 
     run.compiled = compiled  # type: ignore[attr-defined]
     run.backward_result = result  # type: ignore[attr-defined]
+    run.pipeline_report = outcome.report  # type: ignore[attr-defined]
     return run
 
 

@@ -175,6 +175,26 @@ class SDFG:
 
         return sdfg_to_dict(self)
 
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON serialisation of the SDFG.
+
+        Two structurally identical SDFGs (e.g. an SDFG and its deep copy) hash
+        equally; any mutation of arrays, symbols, control flow or compute nodes
+        changes the hash.  The compilation cache uses this as its key.
+        """
+        import hashlib
+        import json
+
+        from repro.ir.serialize import sdfg_to_dict
+
+        payload = {
+            "sdfg": sdfg_to_dict(self),
+            # Not part of the serialised form but it changes what codegen emits.
+            "return_name": getattr(self, "return_name", None),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def __repr__(self) -> str:
         return (
             f"SDFG({self.name!r}, {len(self.arrays)} arrays, "

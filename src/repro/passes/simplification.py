@@ -10,7 +10,7 @@ to constants are resolved statically.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.ir import (
     ConditionalRegion,
@@ -23,33 +23,49 @@ from repro.symbolic import Const, substitute
 from repro.symbolic.simplify import simplify
 
 
-def eliminate_dead_code(sdfg: SDFG, keep: Optional[set[str]] = None) -> int:
+def _referenced_containers(sdfg: SDFG, include_outputs: bool) -> set[str]:
+    """Containers referenced by reads, branch conditions and loop bounds
+    (conservatively includes loop/branch bodies).  With ``include_outputs``
+    every written container counts too; otherwise only accumulation targets,
+    whose prior contents are live."""
+    referenced: set[str] = set()
+    for state in sdfg.all_states():
+        for node in state:
+            referenced |= node.read_data()
+            if include_outputs or node.output.accumulate:
+                referenced.add(node.output.data)
+    for conditional in sdfg.all_conditionals():
+        for condition, _ in conditional.branches:
+            if condition is not None:
+                referenced |= condition.free_symbols() & set(sdfg.arrays)
+    for loop in sdfg.all_loops():
+        for bound in (loop.start, loop.stop, loop.step):
+            referenced |= bound.free_symbols() & set(sdfg.arrays)
+    return referenced
+
+
+def eliminate_dead_code(
+    sdfg: SDFG,
+    keep: Optional[set[str]] = None,
+    extra_keep: Iterable[str] = (),
+) -> int:
     """Remove compute nodes whose result can never reach an output.
 
     ``keep`` is the set of containers that must be preserved (defaults to all
-    non-transient containers plus the return container).  Returns the number
-    of removed nodes.  The pass iterates to a fixed point.
+    non-transient containers plus the return container); ``extra_keep`` adds
+    to that set without replacing the default.  Returns the number of removed
+    nodes.  The pass iterates to a fixed point.
     """
     if keep is None:
         keep = {name for name, desc in sdfg.arrays.items() if not desc.transient}
         return_name = getattr(sdfg, "return_name", None)
         if return_name:
             keep.add(return_name)
+    keep = set(keep) | set(extra_keep)
 
     removed_total = 0
     while True:
-        # Containers read anywhere (conservatively includes loop/branch bodies).
-        read_somewhere: set[str] = set(keep)
-        for state in sdfg.all_states():
-            for node in state:
-                read_somewhere |= node.read_data()
-                if node.output.accumulate:
-                    read_somewhere.add(node.output.data)
-        for conditional in sdfg.all_conditionals():
-            for condition, _ in conditional.branches:
-                if condition is not None:
-                    read_somewhere |= condition.free_symbols() & set(sdfg.arrays)
-
+        read_somewhere = keep | _referenced_containers(sdfg, include_outputs=False)
         removed = 0
         for state in sdfg.all_states():
             kept_nodes = []
@@ -62,6 +78,13 @@ def eliminate_dead_code(sdfg: SDFG, keep: Optional[set[str]] = None) -> int:
         removed_total += removed
         if removed == 0:
             break
+
+    # Drop transient descriptors nothing references any more, so codegen does
+    # not allocate dead arrays.
+    referenced = keep | _referenced_containers(sdfg, include_outputs=True)
+    for name in list(sdfg.arrays):
+        if sdfg.arrays[name].transient and name not in referenced:
+            del sdfg.arrays[name]
     return removed_total
 
 

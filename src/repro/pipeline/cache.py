@@ -1,0 +1,155 @@
+"""The compilation cache.
+
+Keyed on ``(SDFG content hash, pipeline fingerprint, context fingerprint)``,
+the cache maps a compilation request to the finished
+:class:`~repro.codegen.CompiledSDFG` (plus the pipeline report and artifacts
+such as the AD result), so repeated ``repro.compile`` / ``repro.grad`` calls
+on an unchanged program skip parsing, simplification, AD and code emission
+entirely.  Entries are evicted LRU beyond ``maxsize``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+_MISS_COUNTER = itertools.count()
+
+
+def unique_token() -> str:
+    """A process-unique token for values without a stable representation.
+
+    Embedding it in a fingerprint forces a cache *miss* (each call yields a
+    new token).  Unlike ``id()``, tokens are never reused, so they cannot
+    produce a false hit after an address is recycled.
+    """
+    return f"@miss:{next(_MISS_COUNTER)}"
+
+
+_MISS_TOKEN_RE = re.compile(r"@miss:\d+\Z")
+
+
+def contains_miss_token(key) -> bool:
+    """True if ``key`` embeds a :func:`unique_token` marker.
+
+    Such a key can never be looked up again (each token is minted once), so
+    storing an entry under it would only evict reusable entries and pin dead
+    compiled objects in memory.  Tokens always appear as standalone key
+    elements, so exact matching cannot false-positive on user strings (whose
+    :func:`stable_repr` form is quoted).
+    """
+    if isinstance(key, str):
+        return _MISS_TOKEN_RE.fullmatch(key) is not None
+    if isinstance(key, (tuple, list)):
+        return any(contains_miss_token(item) for item in key)
+    return False
+
+
+def stable_repr(value) -> Optional[str]:
+    """A deterministic string form of ``value`` for cache fingerprints.
+
+    Covers primitives (including NumPy scalars) and (nested) containers of
+    primitives; returns ``None`` for anything without a stable representation
+    (callers either drop such values or key them with :func:`unique_token`).
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return f"{type(value).__name__}({value.item()!r})"
+    if isinstance(value, (list, tuple)):
+        parts = [stable_repr(item) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return "[" + ",".join(parts) + "]"
+    if isinstance(value, (set, frozenset)):
+        parts = [stable_repr(item) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return "{" + ",".join(sorted(parts)) + "}"
+    if isinstance(value, dict):
+        parts = []
+        for key, item in value.items():
+            rendered_key = stable_repr(key)
+            rendered_item = stable_repr(item)
+            if rendered_key is None or rendered_item is None:
+                return None
+            parts.append(f"{rendered_key}:{rendered_item}")
+        return "{" + ",".join(sorted(parts)) + "}"
+    return None
+
+
+@dataclass
+class CacheEntry:
+    """One cached compilation: the compiled object plus everything the
+    pipeline produced alongside it."""
+
+    key: tuple
+    compiled: Any
+    report: Any
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CompilationCache:
+    """LRU cache of compiled SDFGs.
+
+    The default process-wide instance lives at
+    :data:`repro.pipeline.DEFAULT_CACHE`; pass ``cache=False`` to the driver
+    APIs to bypass caching for one call, or a private instance to isolate it.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, entry: CacheEntry) -> CacheEntry:
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"CompilationCache({len(self)}/{self.maxsize} entries, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )
+
+
+#: Process-wide cache shared by the top-level driver APIs.
+DEFAULT_CACHE = CompilationCache()

@@ -1,0 +1,313 @@
+"""The compilation driver: pipeline assembly, caching and the top-level API.
+
+``repro.compile(program, optimize="O0"|"O1", checkpointing=...)`` is the
+single entry point the rest of the package routes through:
+
+* ``optimize="O1"`` (default) runs the paper's pre-AD cleanup — constant
+  branch pruning followed by dead code elimination — before differentiation
+  and code generation; ``"O0"`` compiles the program as written.
+* When a gradient is requested (``gradient=True``, a ``wrt`` list, or a
+  checkpointing spec), the pipeline appends checkpointing-strategy selection,
+  the reverse-mode AD stage and the terminal codegen stage, and the call
+  returns a :class:`~repro.autodiff.GradientFunction`.
+* Results are cached in :data:`~repro.pipeline.cache.DEFAULT_CACHE` keyed on
+  the SDFG content hash and the pipeline configuration — recompiling an
+  unchanged program is a hash plus a dictionary lookup.
+
+``grad`` / ``value_and_grad`` / ``Program.compile`` are thin wrappers over
+these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.ir import SDFG
+from repro.pipeline.cache import (
+    DEFAULT_CACHE,
+    CacheEntry,
+    CompilationCache,
+    contains_miss_token,
+)
+from repro.pipeline.manager import PassManager, PipelineReport
+from repro.pipeline.pass_base import PassContext, PipelineError
+from repro.pipeline.stages import (
+    Autodiff,
+    Codegen,
+    CheckpointingSelection,
+    ConstantBranchPruning,
+    DeadCodeElimination,
+)
+
+#: Ordered simplification stages per optimization level.
+OPT_LEVELS: dict[str, tuple] = {
+    "O0": (),
+    "O1": (ConstantBranchPruning, DeadCodeElimination),
+}
+
+
+def to_sdfg(program) -> SDFG:
+    """Lower any accepted program form (SDFG, ``@repro.program`` object or a
+    plain annotated function) to its forward SDFG."""
+    if isinstance(program, SDFG):
+        return program
+    to_sdfg_method = getattr(program, "to_sdfg", None)
+    if callable(to_sdfg_method):
+        return to_sdfg_method()
+    if callable(program):
+        from repro.frontend import parse_function
+
+        return parse_function(program)
+    raise PipelineError(f"Cannot lower {program!r} to an SDFG")
+
+
+def build_pipeline(
+    optimize: str = "O1",
+    *,
+    gradient: bool = False,
+    checkpointing=None,
+    wrt: Optional[Sequence[str]] = None,
+    output: Optional[str] = None,
+    return_value: bool = False,
+    func_name: Optional[str] = None,
+    result_names: Optional[list[str]] = None,
+    extra_passes: Sequence = (),
+) -> PassManager:
+    """Assemble the default pipeline for one compilation request.
+
+    ``extra_passes`` (pass instances, registered names or callables) are
+    inserted after simplification and before AD/codegen.
+    """
+    if optimize not in OPT_LEVELS:
+        raise PipelineError(
+            f"Unknown optimization level {optimize!r}; options: {sorted(OPT_LEVELS)}"
+        )
+    # Containers downstream stages will need: simplification must not delete
+    # them even when they are dead w.r.t. the program's return value.
+    keep: list[str] = []
+    for value in (output, wrt, result_names):
+        keep.extend([value] if isinstance(value, str) else list(value or ()))
+    passes: list = [
+        cls(extra_keep=tuple(keep)) if cls is DeadCodeElimination else cls()
+        for cls in OPT_LEVELS[optimize]
+    ]
+    passes.extend(extra_passes)
+    if gradient:
+        passes.append(CheckpointingSelection(checkpointing))
+        passes.append(Autodiff(output=output, inputs=wrt))
+    passes.append(
+        Codegen(func_name=func_name, result_names=result_names, return_value=return_value)
+    )
+    kind = "grad" if gradient else "forward"
+    return PassManager(passes, name=f"{kind}-{optimize}")
+
+
+@dataclass
+class CompileOutcome:
+    """Everything one driver invocation produced (or fetched from cache)."""
+
+    compiled: Any
+    report: PipelineReport
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    cache_hit: bool = False
+    key: Optional[tuple] = None
+
+
+def run_pipeline(
+    sdfg: SDFG,
+    manager: PassManager,
+    ctx: Optional[PassContext] = None,
+    cache: Union[CompilationCache, bool, None] = None,
+) -> CompileOutcome:
+    """Run ``manager`` over ``sdfg`` with caching.
+
+    ``cache=None`` or ``cache=True`` uses the process-wide default cache;
+    ``cache=False`` disables caching for this call; a
+    :class:`CompilationCache` instance uses that instance.  On a hit the
+    cached :class:`CompiledSDFG` object itself is returned (no
+    recompilation); the returned report is the cached pipeline report flagged
+    with ``cache_hit=True``.
+    """
+    ctx = ctx if ctx is not None else PassContext()
+    use_cache: Optional[CompilationCache]
+    if cache is None or cache is True:
+        use_cache = DEFAULT_CACHE
+    elif cache is False:
+        use_cache = None
+    else:
+        use_cache = cache
+
+    key = None
+    if use_cache is not None:
+        key = (sdfg.content_hash(), manager.fingerprint(), ctx.fingerprint())
+        if contains_miss_token(key):
+            # A miss token makes the key un-reusable: compiling without
+            # touching the cache beats evicting good entries for dead ones.
+            use_cache = None
+    if use_cache is not None:
+        entry = use_cache.lookup(key)
+        if entry is not None:
+            report = PipelineReport(
+                pipeline=entry.report.pipeline,
+                records=entry.report.records,
+                cache_hit=True,
+            )
+            # Keep the attribute in sync with the outcome of the *latest*
+            # compile call (cold timings, flagged as a hit).
+            entry.compiled.pipeline_report = report
+            return CompileOutcome(
+                compiled=entry.compiled,
+                report=report,
+                artifacts=dict(entry.artifacts),
+                cache_hit=True,
+                key=key,
+            )
+
+    _, report = manager.run(sdfg, ctx)
+    compiled = ctx.artifacts.get("compiled")
+    if compiled is None:
+        raise PipelineError(
+            f"Pipeline {manager.name!r} has no codegen stage; nothing was compiled"
+        )
+    compiled.pipeline_report = report
+    outcome = CompileOutcome(
+        compiled=compiled,
+        report=report,
+        artifacts=dict(ctx.artifacts),
+        cache_hit=False,
+        key=key,
+    )
+    if use_cache is not None:
+        # Copy so caller mutations of outcome.artifacts cannot corrupt the entry.
+        use_cache.store(
+            CacheEntry(
+                key=key, compiled=compiled, report=report,
+                artifacts=dict(outcome.artifacts),
+            )
+        )
+    return outcome
+
+
+def compile_forward(
+    program,
+    optimize: str = "O1",
+    *,
+    symbol_values: Optional[Mapping[str, object]] = None,
+    cache: Union[CompilationCache, bool, None] = None,
+    extra_passes: Sequence = (),
+    func_name: Optional[str] = None,
+    result_names: Optional[list[str]] = None,
+) -> CompileOutcome:
+    """Compile the forward program through the pipeline (cached)."""
+    sdfg = to_sdfg(program)
+    manager = build_pipeline(
+        optimize,
+        extra_passes=extra_passes,
+        func_name=func_name,
+        result_names=result_names,
+    )
+    ctx = PassContext(
+        symbol_values=dict(symbol_values or {}),
+        options={"result_names": list(result_names) if result_names else None},
+    )
+    return run_pipeline(sdfg, manager, ctx, cache=cache)
+
+
+def compile_gradient(
+    program,
+    wrt: Optional[Union[str, Sequence[str]]] = None,
+    output: Optional[str] = None,
+    checkpointing=None,
+    return_value: bool = False,
+    optimize: str = "O1",
+    *,
+    symbol_values: Optional[Mapping[str, object]] = None,
+    cache: Union[CompilationCache, bool, None] = None,
+    extra_passes: Sequence = (),
+) -> CompileOutcome:
+    """Compile the forward+backward program through the pipeline (cached).
+
+    The outcome's ``artifacts["backward"]`` holds the
+    :class:`BackwardPassResult` (gradient container names, activity analysis,
+    storage plan).
+    """
+    if isinstance(wrt, str):
+        wrt = [wrt]
+    sdfg = to_sdfg(program)
+    manager = build_pipeline(
+        optimize,
+        gradient=True,
+        checkpointing=checkpointing,
+        wrt=wrt,
+        output=output,
+        return_value=return_value,
+        extra_passes=extra_passes,
+    )
+    ctx = PassContext(
+        symbol_values=dict(symbol_values or {}),
+        options={
+            "wrt": list(wrt) if wrt is not None else None,
+            "output": output,
+            "return_value": return_value,
+        },
+    )
+    outcome = run_pipeline(sdfg, manager, ctx, cache=cache)
+    if outcome.cache_hit and hasattr(checkpointing, "last_report"):
+        # The cached compile skipped strategy.decide(); replay the stored
+        # diagnostic so strategy.last_report behaves as on a cold compile.
+        report = outcome.artifacts.get("checkpoint_report")
+        if report is not None:
+            checkpointing.last_report = report
+    return outcome
+
+
+def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
+    program,
+    optimize: str = "O1",
+    *,
+    checkpointing=None,
+    gradient: Optional[bool] = None,
+    wrt: Optional[Union[str, Sequence[str]]] = None,
+    output: Optional[str] = None,
+    symbol_values: Optional[Mapping[str, object]] = None,
+    cache: Union[CompilationCache, bool, None] = None,
+    extra_passes: Sequence = (),
+):
+    """Top-level compilation entry point (re-exported as ``repro.compile``).
+
+    Without gradient options this returns a :class:`CompiledSDFG` computing
+    the forward program.  With ``gradient=True`` — or any of the gradient
+    options ``wrt``, ``output`` or ``checkpointing`` — it returns a
+    :class:`~repro.autodiff.GradientFunction`.  Both paths share the
+    compilation cache: a second call on an unchanged program with the same
+    configuration returns the previously compiled object.
+    """
+    if gradient is None:
+        gradient = wrt is not None or checkpointing is not None or output is not None
+    elif not gradient and (wrt is not None or checkpointing is not None or output is not None):
+        raise PipelineError(
+            "gradient=False contradicts the gradient options wrt/output/checkpointing; "
+            "drop gradient=False or the gradient options"
+        )
+    if gradient:
+        from repro.autodiff.api import GradientFunction
+
+        return GradientFunction(
+            program,
+            wrt=wrt,
+            strategy=checkpointing,
+            output=output,
+            optimize=optimize,
+            symbol_values=symbol_values,
+            cache=cache,
+            extra_passes=extra_passes,
+        )
+    outcome = compile_forward(
+        program,
+        optimize,
+        symbol_values=symbol_values,
+        cache=cache,
+        extra_passes=extra_passes,
+    )
+    return outcome.compiled

@@ -1,0 +1,141 @@
+"""The pass manager: ordered pipeline execution with per-pass instrumentation.
+
+``PassManager.run`` executes the configured passes in order on (a copy of) the
+input SDFG and records, for every pass, its wall-clock time and the change in
+IR size (compute nodes and control-flow elements) into a
+:class:`PipelineReport`.  The report is attached to compiled objects so users
+can see where compilation time goes (``print(report.pretty())``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.ir import SDFG, State
+from repro.pipeline.pass_base import Pass, PassContext, make_pass
+
+
+def ir_size(sdfg: SDFG) -> int:
+    """Compute nodes plus control-flow elements — the "node count" whose
+    per-pass delta the report tracks."""
+    nodes = 0
+    elements = 0
+    for element in sdfg.all_elements():
+        elements += 1
+        if isinstance(element, State):
+            nodes += len(element.nodes)
+    return nodes + elements
+
+
+@dataclass
+class PassRecord:
+    """Instrumentation of one pass execution."""
+
+    name: str
+    seconds: float
+    nodes_before: int
+    nodes_after: int
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delta(self) -> int:
+        return self.nodes_after - self.nodes_before
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "delta": self.delta,
+            "info": dict(self.info),
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Per-pass timings and IR-size deltas of one pipeline run."""
+
+    pipeline: str = "pipeline"
+    records: list[PassRecord] = field(default_factory=list)
+    cache_hit: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    def record_for(self, name: str) -> Optional[PassRecord]:
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "pipeline": self.pipeline,
+            "cache_hit": self.cache_hit,
+            "total_seconds": self.total_seconds,
+            "passes": [record.to_dict() for record in self.records],
+        }
+
+    def pretty(self) -> str:
+        from repro.harness.report import format_pipeline_report
+
+        return format_pipeline_report(self)
+
+
+class PassManager:
+    """Runs an ordered pass pipeline over an SDFG.
+
+    Parameters
+    ----------
+    passes:
+        Pipeline entries — :class:`Pass` instances, registered pass names or
+        plain ``fn(sdfg, ctx)`` callables (see :func:`make_pass`).
+    name:
+        Label used in reports and cache keys.
+    """
+
+    def __init__(self, passes: Sequence, name: str = "pipeline") -> None:
+        self.passes: list[Pass] = [make_pass(spec) for spec in passes]
+        self.name = name
+
+    def fingerprint(self) -> tuple:
+        """Stable identity of the configured pipeline (part of cache keys)."""
+        return (self.name,) + tuple(p.fingerprint() for p in self.passes)
+
+    def run(
+        self,
+        sdfg: SDFG,
+        ctx: Optional[PassContext] = None,
+        copy: bool = True,
+    ) -> tuple[SDFG, PipelineReport]:
+        """Execute the pipeline; returns the final SDFG and the report.
+
+        With ``copy=True`` (the default) the input SDFG is never mutated —
+        passes run on a deep copy, so callers can keep reusing their program.
+        """
+        ctx = ctx if ctx is not None else PassContext()
+        current = sdfg.copy() if copy else sdfg
+        report = PipelineReport(pipeline=self.name)
+        for p in self.passes:
+            before = ir_size(current)
+            ctx.info = {}
+            start = time.perf_counter()
+            result = p.apply(current, ctx)
+            elapsed = time.perf_counter() - start
+            if result is not None:
+                current = result
+            report.records.append(
+                PassRecord(
+                    name=p.name,
+                    seconds=elapsed,
+                    nodes_before=before,
+                    nodes_after=ir_size(current),
+                    info=dict(ctx.info),
+                )
+            )
+        ctx.info = {}
+        return current, report

@@ -1,0 +1,242 @@
+"""Built-in pipeline stages.
+
+Every existing compilation step is wrapped as a :class:`Pass` so the whole
+frontend-to-binary flow is one ordered pipeline:
+
+* :class:`ConstantBranchPruning` / :class:`DeadCodeElimination` — the paper's
+  pre-AD cleanup (Section IV-B), default at ``optimize="O1"``;
+* :class:`CheckpointingSelection` — resolves the user's checkpointing spec
+  (strategy instance or name) into the strategy the AD stage consumes;
+* :class:`Autodiff` — reverse-mode differentiation
+  (:func:`repro.autodiff.add_backward_pass`);
+* :class:`Codegen` — the terminal stage, emitting and compiling NumPy code
+  via :func:`repro.codegen.compile_sdfg`.
+
+Heavy imports happen inside ``apply`` to keep the package import-cycle free
+(``autodiff`` itself imports the pipeline driver for its public API).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir import SDFG
+from repro.pipeline.cache import stable_repr, unique_token
+from repro.pipeline.pass_base import Pass, PassContext, PipelineError, register_pass
+
+
+class ConstantBranchPruning(Pass):
+    """Resolve conditionals whose conditions fold to compile-time constants
+    (uses ``ctx.symbol_values`` for configuration symbols)."""
+
+    name = "prune-constant-branches"
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.simplification import prune_constant_branches
+
+        removed = prune_constant_branches(sdfg, ctx.symbol_values or None)
+        ctx.note("conditionals_removed", removed)
+        return sdfg
+
+
+class DeadCodeElimination(Pass):
+    """Remove compute nodes whose results cannot reach an output.
+
+    Besides the default keep set (non-transients plus the return container),
+    ``extra_keep`` preserves containers later stages depend on — a
+    user-selected gradient ``output`` / ``wrt`` or explicit codegen
+    ``result_names``.  ``build_pipeline`` derives it from the same arguments
+    it configures those stages with, so the two cannot drift apart.
+    """
+
+    name = "dead-code-elimination"
+
+    def __init__(self, extra_keep: Sequence[str] = ()) -> None:
+        self.extra_keep = tuple(extra_keep)
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.simplification import eliminate_dead_code
+
+        keep = {name for name in self.extra_keep if name in sdfg.arrays}
+        removed = eliminate_dead_code(sdfg, extra_keep=keep)
+        ctx.note("nodes_removed", removed)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self.extra_keep)
+
+
+class Validate(Pass):
+    """Structural validation (cheap sanity net between transformations)."""
+
+    name = "validate"
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        sdfg.validate()
+        return sdfg
+
+
+class CheckpointingSelection(Pass):
+    """Resolve the checkpointing spec into a strategy on the context.
+
+    Accepts a :class:`~repro.checkpointing.CheckpointingStrategy` instance,
+    one of the names ``"store_all"`` / ``"recompute_all"``, or ``None`` (the
+    store-all default).
+    """
+
+    name = "checkpointing-selection"
+
+    def __init__(self, spec=None) -> None:
+        self.spec = spec
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        ctx.strategy = _resolve_strategy(self.spec)
+        ctx.note(
+            "strategy",
+            type(ctx.strategy).__name__ if ctx.strategy is not None else "store_all",
+        )
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, strategy_fingerprint(self.spec))
+
+
+class Autodiff(Pass):
+    """Reverse-mode AD: augment the forward SDFG with its backward pass and
+    stash the :class:`BackwardPassResult` under ``ctx.artifacts["backward"]``."""
+
+    name = "autodiff"
+
+    def __init__(
+        self,
+        output: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.output = output
+        self.inputs = list(inputs) if inputs is not None else None
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.autodiff.engine import add_backward_pass
+
+        result = add_backward_pass(
+            sdfg, output=self.output, inputs=self.inputs, strategy=ctx.strategy
+        )
+        ctx.artifacts["backward"] = result
+        # Preserve the strategy's diagnostic report so warm (cached) compiles
+        # can replay it onto the caller's strategy instance.
+        ctx.artifacts["checkpoint_report"] = getattr(ctx.strategy, "last_report", None)
+        ctx.note("gradients", sorted(result.gradient_names.values()))
+        return result.sdfg
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.name,
+            self.output,
+            tuple(self.inputs) if self.inputs is not None else None,
+        )
+
+
+class Codegen(Pass):
+    """Terminal stage: emit + compile NumPy code, stash the
+    :class:`CompiledSDFG` under ``ctx.artifacts["compiled"]``."""
+
+    name = "codegen"
+
+    def __init__(
+        self,
+        func_name: Optional[str] = None,
+        result_names: Optional[list[str]] = None,
+        return_value: bool = False,
+    ) -> None:
+        self.func_name = func_name
+        self.result_names = result_names
+        self.return_value = return_value
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.codegen import compile_sdfg
+
+        backward = ctx.artifacts.get("backward")
+        func_name = self.func_name
+        result_names = self.result_names
+        if backward is not None:
+            # Gradient compile: results are the gradient containers (and the
+            # forward value with return_value=True), mirroring the legacy
+            # GradientFunction layout exactly.
+            if func_name is None:
+                func_name = f"__grad_{sdfg.name}"
+            if result_names is None:
+                result_names = [
+                    backward.gradient_names[name] for name in backward.gradient_names
+                ]
+                if self.return_value:
+                    result_names = result_names + [backward.output]
+        compiled = compile_sdfg(sdfg, func_name=func_name, result_names=result_names)
+        ctx.artifacts["compiled"] = compiled
+        ctx.note("source_lines", compiled.source.count("\n") + 1)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.name,
+            self.func_name,
+            tuple(self.result_names) if self.result_names is not None else None,
+            self.return_value,
+        )
+
+
+def _resolve_strategy(spec):
+    """Spec -> strategy instance (``None`` means the store-all default)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        from repro.checkpointing import RecomputeAll, StoreAll
+
+        named = {"store_all": StoreAll, "recompute_all": RecomputeAll}
+        if spec not in named:
+            raise PipelineError(
+                f"Unknown checkpointing strategy {spec!r}; options: {sorted(named)} "
+                "or a CheckpointingStrategy instance"
+            )
+        return named[spec]()
+    if hasattr(spec, "decide"):
+        return spec
+    raise PipelineError(f"Cannot use {spec!r} as a checkpointing strategy")
+
+
+def strategy_fingerprint(spec) -> tuple:
+    """Cache-key identity of a checkpointing spec.
+
+    Strategies define ``cache_fingerprint()`` covering their configuration
+    (the :class:`CheckpointingStrategy` hierarchy does).  For foreign objects
+    without one, attributes are fingerprinted via :func:`stable_repr`; any
+    attribute lacking a stable representation gets a process-unique token,
+    forcing a cache miss rather than risking a false hit between two
+    configurations the fingerprint cannot distinguish.
+    """
+    if spec is None:
+        return ("store_all",)
+    if isinstance(spec, str):
+        return (spec,)
+    custom = getattr(spec, "cache_fingerprint", None)
+    if callable(custom):
+        return (type(spec).__qualname__, custom())
+    attrs = tuple(
+        (key, stable_repr(value) or unique_token())
+        for key, value in sorted(vars(spec).items())
+    )
+    return (type(spec).__qualname__, attrs)
+
+
+def register_builtin_passes() -> None:
+    for cls in (
+        ConstantBranchPruning,
+        DeadCodeElimination,
+        Validate,
+        CheckpointingSelection,
+        Autodiff,
+        Codegen,
+    ):
+        register_pass(cls.name, cls)
+
+
+register_builtin_passes()

@@ -36,3 +36,7 @@ class AutodiffError(ReproError):
 
 class CheckpointingError(ReproError):
     """The ILP checkpointing machinery failed (e.g. infeasible memory limit)."""
+
+
+class PipelineError(ReproError):
+    """The compilation pipeline was misconfigured (unknown pass, bad opt level)."""

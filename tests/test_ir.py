@@ -293,3 +293,33 @@ class TestSerialization:
         assert len(list(restored.all_states())) == len(list(sdfg.all_states()))
         # Re-serialising gives the same dictionary (fixed point).
         assert sdfg_to_dict(restored) == data
+
+
+class TestContentHash:
+    def test_stable_across_deep_copies(self):
+        sdfg = make_simple_sdfg()
+        assert sdfg.content_hash() == sdfg.copy().content_hash()
+        # Repeated hashing of the same object is deterministic too.
+        assert sdfg.content_hash() == sdfg.content_hash()
+
+    def test_changes_when_node_mutated(self):
+        sdfg = make_simple_sdfg()
+        before = sdfg.content_hash()
+        state = next(sdfg.all_states())
+        state.nodes[0].expr = parse_expr("a * 3")
+        assert sdfg.content_hash() != before
+
+    def test_changes_on_array_and_structure_edits(self):
+        sdfg = make_simple_sdfg()
+        before = sdfg.content_hash()
+        sdfg.add_array("B", (Sym("N"),), "float64")
+        with_array = sdfg.content_hash()
+        assert with_array != before
+        sdfg.add_state("extra")
+        assert sdfg.content_hash() != with_array
+
+    def test_return_name_is_part_of_the_hash(self):
+        sdfg = make_simple_sdfg()
+        before = sdfg.content_hash()
+        sdfg.return_name = "out"
+        assert sdfg.content_hash() != before
