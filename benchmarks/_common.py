@@ -81,3 +81,15 @@ def write_json(name: str, payload: dict) -> str:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def write_results(benchmark: str, payload: dict) -> str:
+    """The one result-writing helper every ``bench_*`` script should use.
+
+    Stamps the payload with the benchmark name and writes it to
+    ``benchmarks/results/<benchmark>.json`` via :func:`write_json`, so all
+    benchmark output lands in one place with one envelope shape.
+    """
+    body = {"benchmark": benchmark}
+    body.update(payload)
+    return write_json(f"{benchmark}.json", body)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import statistics
 import time
 
-from _common import write_json
+from _common import write_results
 
 from repro.harness import format_table
 from repro.npbench import get_kernel
@@ -53,7 +53,6 @@ def run_cache_benchmark(preset: str = "paper") -> dict:
     cold = statistics.median(cold_times)
     warm = statistics.median(warm_times)
     payload = {
-        "benchmark": "pipeline_cache",
         "kernel": "seidel2d",
         "preset": preset,
         "cold_seconds": cold,
@@ -70,7 +69,7 @@ def run_cache_benchmark(preset: str = "paper") -> dict:
             "entries": len(cache),
         },
     }
-    path = write_json("pipeline_cache.json", payload)
+    path = write_results("pipeline_cache", payload)
     print()
     print(format_table(
         ["phase", "median [ms]", "repeats"],

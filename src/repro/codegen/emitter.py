@@ -17,6 +17,7 @@ from repro.ir import (
     State,
 )
 from repro.ir.subsets import Index, Range, Subset
+from repro.codegen.subexpr import hoist_common_subexpressions
 from repro.codegen.vectorize import try_vectorize_map
 from repro.symbolic import Const, Expr, Sym, to_python
 from repro.symbolic.simplify import simplify
@@ -188,8 +189,13 @@ class SourceEmitter:
                 raise CodegenError(f"Cannot emit node {node!r}")
 
     # -- maps ------------------------------------------------------------------------
+    def _scope_names(self) -> set[str]:
+        """Identifiers live in the generated function's scope — containers
+        and symbols — which generated temporaries must not shadow."""
+        return set(self.sdfg.arrays) | set(self.sdfg.symbols)
+
     def _emit_map(self, node: MapCompute) -> None:
-        vectorized = try_vectorize_map(node)
+        vectorized = try_vectorize_map(node, taken=self._scope_names())
         if vectorized is not None:
             for line in vectorized:
                 self.emit(line)
@@ -214,7 +220,15 @@ class SourceEmitter:
                 rename[conn] = memlet.data if desc.ndim == 0 else f"{memlet.data}[...]"
             else:
                 rename[conn] = f"{memlet.data}[{self._index_src(memlet.subset)}]"
-        rhs = to_python(node.expr, rename=rename, vectorized=False)
+        # Share repeated subexpressions via scalar temporaries.  Python's
+        # ternary/short-circuit operators are lazy, so only unconditionally
+        # evaluated subtrees are hoisted (guarded_lazy=True).
+        bindings, residual = hoist_common_subexpressions(
+            node.expr, taken=self._scope_names() | set(rename), guarded_lazy=True
+        )
+        for name, value in bindings:
+            self.emit(f"{name} = {to_python(value, rename=rename, vectorized=False)}")
+        rhs = to_python(residual, rename=rename, vectorized=False)
         target = f"{node.output.data}[{self._index_src(node.output.subset)}]"
         op = "+=" if node.output.accumulate else "="
         self.emit(f"{target} {op} {rhs}")

@@ -1,0 +1,157 @@
+"""Expression-level CSE for emitted map bodies.
+
+Map fusion substitutes a producer expression for every occurrence of the
+connector that read the fused-away transient, so a consumer like ``d = c * c``
+turns into one map whose expression contains the producer's tree twice.
+Emitting that verbatim would recompute the producer once per occurrence —
+exactly the work fusion was meant to save.
+
+:func:`hoist_common_subexpressions` restores sharing at code-generation time:
+repeated non-trivial subtrees are pulled out into temporaries (``__cse0 = …``)
+emitted before the map statement, and the expression is rewritten to
+reference them.  In the vectorised path every subexpression is evaluated
+eagerly anyway (``np.where`` has eager operands), so hoisting is always
+semantics-preserving; in the sequential-loop path Python's ternary and
+short-circuit operators are lazy, so only subtrees whose every occurrence is
+unconditionally evaluated are hoisted (``guarded_lazy=True``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.symbolic import BoolOp, Const, Expr, IfExp, Sym
+
+#: Prefix of generated temporaries.  Generated map parameters (``__mN_k``)
+#: and connectors (``__inN``/``__fusedN``) never collide with it, but user
+#: program variables may — callers must pass every identifier in scope of
+#: the generated function (containers, symbols) via ``taken``.
+CSE_PREFIX = "__cse"
+
+
+def _tree_size(expr: Expr) -> int:
+    return sum(1 for _ in expr.walk())
+
+
+def _count_occurrences(expr: Expr, guarded_lazy: bool) -> Counter:
+    """Occurrences of every non-leaf subtree.  With ``guarded_lazy`` any
+    subtree that appears under a lazily-evaluated position (ternary branches,
+    short-circuit operands) is poisoned — hoisting it would evaluate it
+    unconditionally where the original code may not evaluate it at all."""
+    counts: Counter = Counter()
+    poisoned: set[Expr] = set()
+
+    def visit(node: Expr, guarded: bool) -> None:
+        if not isinstance(node, (Sym, Const)):
+            counts[node] += 1
+            if guarded:
+                poisoned.add(node)
+        if guarded_lazy and isinstance(node, IfExp):
+            visit(node.condition, guarded)
+            visit(node.then, True)
+            visit(node.otherwise, True)
+        elif guarded_lazy and isinstance(node, BoolOp):
+            values = node.children
+            if values:
+                visit(values[0], guarded)
+                for value in values[1:]:
+                    visit(value, True)
+        else:
+            for child in node.children:
+                visit(child, guarded)
+
+    visit(expr, False)
+    for node in poisoned:
+        del counts[node]
+    return counts
+
+
+def _select(expr: Expr, counts: Counter) -> list[Expr]:
+    """Top-down maximal repeated subtrees: descend until a repeated subtree
+    is found, select it, and do not descend into it (its inner repeats are
+    covered by the shared temporary)."""
+    selected: list[Expr] = []
+    seen: set[Expr] = set()
+
+    def visit(node: Expr) -> None:
+        if counts.get(node, 0) >= 2:
+            if node not in seen:
+                seen.add(node)
+                selected.append(node)
+            return
+        for child in node.children:
+            visit(child)
+
+    visit(expr)
+    return selected
+
+
+def _replace(expr: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    from repro.symbolic.expr import BinOp, Call, Compare, UnOp
+
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, (Sym, Const)):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _replace(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _replace(expr.left, mapping), _replace(expr.right, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(_replace(a, mapping) for a in expr.args))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, _replace(expr.left, mapping), _replace(expr.right, mapping))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, tuple(_replace(v, mapping) for v in expr.values))
+    if isinstance(expr, IfExp):
+        return IfExp(
+            _replace(expr.condition, mapping),
+            _replace(expr.then, mapping),
+            _replace(expr.otherwise, mapping),
+        )
+    return expr
+
+
+def hoist_common_subexpressions(
+    expr: Expr,
+    taken: Iterable[str] = (),
+    guarded_lazy: bool = False,
+) -> tuple[list[tuple[str, Expr]], Expr]:
+    """Split ``expr`` into ``(bindings, residual)``.
+
+    ``bindings`` is an ordered list of ``(name, subexpression)`` pairs to be
+    emitted as assignments before the statement using ``residual``; inner
+    bindings come first, and later bindings (and the residual) reference
+    earlier ones by name.  Names start with :data:`CSE_PREFIX` and avoid the
+    symbols in ``taken`` and every symbol of ``expr``.  When nothing repeats,
+    ``bindings`` is empty and ``residual is expr``.
+    """
+    counts = _count_occurrences(expr, guarded_lazy)
+    selected = _select(expr, counts)
+    if not selected:
+        return [], expr
+
+    reserved = set(taken) | expr.free_symbols()
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        while True:
+            name = f"{CSE_PREFIX}{counter}"
+            counter += 1
+            if name not in reserved:
+                reserved.add(name)
+                return name
+
+    # Inner (smaller) subtrees first, so outer bindings can reference them.
+    selected.sort(key=_tree_size)
+    mapping: dict[Expr, Expr] = {}
+    bindings: list[tuple[str, Expr]] = []
+    for subtree in selected:
+        name = fresh()
+        rewritten = _replace(subtree, mapping)
+        bindings.append((name, rewritten))
+        mapping[subtree] = Sym(name)
+    residual = _replace(expr, mapping)
+    return bindings, residual

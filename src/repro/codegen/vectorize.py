@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.codegen.subexpr import hoist_common_subexpressions
 from repro.ir.nodes import MapCompute
 from repro.ir.subsets import Index, Range, Subset
 from repro.symbolic import Const, Expr, Sym, to_python
@@ -126,10 +127,17 @@ def broadcast_adjustment(ref: SlicedRef, output_params: list[str]) -> str:
     return f"({ref.source})[{', '.join(pieces)}]"
 
 
-def try_vectorize_map(node: MapCompute, rename_extra: Optional[dict] = None) -> Optional[list[str]]:
+def try_vectorize_map(
+    node: MapCompute,
+    rename_extra: Optional[dict] = None,
+    taken: "Optional[set[str]]" = None,
+) -> Optional[list[str]]:
     """Emit a vectorised NumPy statement for a map, or ``None`` to fall back.
 
     The returned value is a list of source lines (without indentation).
+    ``taken`` names identifiers already in scope of the generated function
+    (containers, symbols, parameters) that hoisted temporaries must not
+    shadow.
     """
     output_ref = vectorize_memlet(node.output.data, node.output.subset, node)
     if output_ref is None:
@@ -165,7 +173,17 @@ def try_vectorize_map(node: MapCompute, rename_extra: Optional[dict] = None) -> 
     if rename_extra:
         for key, value in rename_extra.items():
             rename.setdefault(key, value)
-    rhs = to_python(node.expr, rename=rename, vectorized=True)
+    # Hoist repeated subexpressions (fusion inlines producers once per use)
+    # into temporaries; np.where evaluates eagerly, so this never changes
+    # which subexpressions get evaluated.
+    bindings, residual = hoist_common_subexpressions(
+        node.expr, taken=set(taken or ()) | set(rename)
+    )
+    lines = [
+        f"{name} = {to_python(value, rename=rename, vectorized=True)}"
+        for name, value in bindings
+    ]
+    rhs = to_python(residual, rename=rename, vectorized=True)
 
     if missing_from_output:
         reduced_axes = [
@@ -192,4 +210,5 @@ def try_vectorize_map(node: MapCompute, rename_extra: Optional[dict] = None) -> 
     if target == node.output.data:
         target = f"{node.output.data}[...]"
     op = "+=" if node.output.accumulate else "="
-    return [f"{target} {op} {rhs}"]
+    lines.append(f"{target} {op} {rhs}")
+    return lines

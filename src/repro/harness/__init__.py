@@ -9,6 +9,7 @@ spirit of Hoefler & Belli's benchmarking guidelines.
 from repro.harness.measure import Measurement, measure
 from repro.harness.runners import (
     KernelRunResult,
+    copy_data,
     dace_gradient_runner,
     jaxlike_gradient_runner,
     run_kernel_comparison,
@@ -30,6 +31,7 @@ __all__ = [
     "Measurement",
     "measure",
     "KernelRunResult",
+    "copy_data",
     "dace_gradient_runner",
     "jaxlike_gradient_runner",
     "run_kernel_comparison",

@@ -12,9 +12,15 @@ from repro.npbench.registry import KernelSpec
 from repro.pipeline import compile_gradient
 
 
-def _copy_data(data: dict) -> dict:
+def copy_data(data: dict) -> dict:
+    """Fresh copies of a kernel-input dict (ndarrays copied, scalars as-is)
+    so one dataset can feed repeated runs of in-place-mutating programs."""
     return {k: (np.array(v, copy=True) if isinstance(v, np.ndarray) else v)
             for k, v in data.items()}
+
+
+#: Backwards-compatible private alias (pre-PR-2 name).
+_copy_data = copy_data
 
 
 def dace_gradient_runner(spec: KernelSpec, preset: str = "S",

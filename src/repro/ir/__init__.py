@@ -30,6 +30,7 @@ from repro.ir.control_flow import (
     LoopRegion,
 )
 from repro.ir.sdfg import SDFG
+from repro.ir.usage import UseSite, UseSites, collect_uses
 from repro.ir.validation import validate_sdfg
 
 __all__ = [
@@ -56,5 +57,8 @@ __all__ = [
     "LoopRegion",
     "ConditionalRegion",
     "SDFG",
+    "UseSite",
+    "UseSites",
+    "collect_uses",
     "validate_sdfg",
 ]

@@ -136,6 +136,14 @@ class SDFG:
     def transients(self) -> list[str]:
         return [name for name, desc in self.arrays.items() if desc.transient]
 
+    def container_uses(self):
+        """Per-container read/write sites in program order — see
+        :func:`repro.ir.usage.collect_uses`.  Recomputed on every call;
+        passes that mutate the SDFG must refresh it."""
+        from repro.ir.usage import collect_uses
+
+        return collect_uses(self)
+
     def free_symbols(self) -> set[str]:
         """Symbols referenced anywhere (shapes, memlets, loop bounds)."""
         result: set[str] = set()

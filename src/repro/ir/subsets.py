@@ -63,7 +63,14 @@ class Range:
         )
 
     def length_expr(self) -> Expr:
-        """Number of elements: ceil((stop - start) / step) for positive step."""
+        """Number of elements: ceil((stop - start) / step) for positive step.
+
+        The common unit-step case is ``stop - start`` exactly, which keeps
+        length expressions in a form structural comparisons (full-write
+        checks, fusion's identity test) and emitted slices can work with.
+        """
+        if simplify(self.step) == Const(1):
+            return simplify(self.stop - self.start)
         diff = self.stop - self.start
         return simplify((diff + self.step - Const(1)) // self.step)
 

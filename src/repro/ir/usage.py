@@ -1,0 +1,133 @@
+"""Container use analysis: who reads and writes each data container.
+
+Transformation passes (map fusion, common-subexpression elimination, dead
+code elimination) all need the same question answered: *for a given container,
+where are its writers and readers, and in what program order?*  This module
+walks the control-flow tree once and records, per container, every read and
+write site together with its position (region, element index, node index), so
+passes can check single-writer / single-consumer conditions and "no
+intervening write" windows without re-walking the SDFG.
+
+Reads that do not go through a memlet — container names referenced by branch
+conditions (the frontend's ``__cond`` scalars) — are recorded as *opaque*
+reads: they have no node to rewrite, so passes must leave such containers
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.ir.control_flow import (
+    ConditionalRegion,
+    ControlFlowRegion,
+    LoopRegion,
+)
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import ComputeNode
+from repro.ir.state import State
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.sdfg import SDFG
+
+
+@dataclass(frozen=True)
+class UseSite:
+    """One read or write of a container by a compute node.
+
+    ``region``/``element_index``/``node_index`` locate the node in program
+    order: ``region.elements[element_index]`` is the state holding the node
+    and ``state.nodes[node_index]`` is the node itself.  For reads, ``conn``
+    is the input connector the memlet enters through (``None`` for writes).
+    """
+
+    region: ControlFlowRegion
+    element_index: int
+    state: State
+    node_index: int
+    node: ComputeNode
+    conn: Optional[str] = None
+    memlet: Optional[Memlet] = None
+
+    def position(self) -> tuple[int, int]:
+        """(element index, node index) — orders sites within one region."""
+        return (self.element_index, self.node_index)
+
+
+@dataclass
+class UseSites:
+    """All uses of one container.
+
+    Attributes
+    ----------
+    writes:
+        Sites whose node's output memlet targets the container (accumulating
+        writes included — they are reads *and* writes).
+    reads:
+        Sites whose node reads the container through an input memlet, plus an
+        entry per accumulating write (the previous contents are read).
+    opaque_reads:
+        Number of references with no rewritable memlet (branch conditions).
+        A non-zero count means the container cannot be renamed or removed.
+    """
+
+    writes: list[UseSite] = field(default_factory=list)
+    reads: list[UseSite] = field(default_factory=list)
+    opaque_reads: int = 0
+
+    def read_nodes(self) -> set[int]:
+        return {id(site.node) for site in self.reads}
+
+
+def _walk_states(
+    region: ControlFlowRegion,
+) -> Iterator[tuple[ControlFlowRegion, int, State]]:
+    for index, element in enumerate(region.elements):
+        if isinstance(element, State):
+            yield region, index, element
+        elif isinstance(element, LoopRegion):
+            yield from _walk_states(element.body)
+        elif isinstance(element, ConditionalRegion):
+            for _, branch in element.branches:
+                yield from _walk_states(branch)
+
+
+def collect_uses(sdfg: "SDFG") -> dict[str, UseSites]:
+    """Map every container name to its :class:`UseSites`.
+
+    Containers that are never referenced still get an (empty) entry, so
+    callers can use ``uses[name]`` unconditionally.
+    """
+    uses: dict[str, UseSites] = {name: UseSites() for name in sdfg.arrays}
+
+    def sites_for(name: str) -> UseSites:
+        # Defensive: tolerate memlets naming containers not in ``arrays``.
+        return uses.setdefault(name, UseSites())
+
+    for region, element_index, state in _walk_states(sdfg.root):
+        for node_index, node in enumerate(state.nodes):
+            for conn, memlet in node.inputs.items():
+                sites_for(memlet.data).reads.append(
+                    UseSite(region, element_index, state, node_index, node,
+                            conn=conn, memlet=memlet)
+                )
+            out_site = UseSite(region, element_index, state, node_index, node,
+                               memlet=node.output)
+            sites_for(node.output.data).writes.append(out_site)
+            if node.output.accumulate:
+                # ``+=`` also reads the previous contents (no connector).
+                sites_for(node.output.data).reads.append(out_site)
+
+    array_names = set(sdfg.arrays)
+    for conditional in sdfg.all_conditionals():
+        for condition, _ in conditional.branches:
+            if condition is None:
+                continue
+            for name in condition.free_symbols() & array_names:
+                sites_for(name).opaque_reads += 1
+    for loop in sdfg.all_loops():
+        for bound in (loop.start, loop.stop, loop.step):
+            for name in bound.free_symbols() & array_names:
+                sites_for(name).opaque_reads += 1
+    return uses

@@ -1,8 +1,10 @@
-"""Deep-learning kernels (softmax, mlp, conv2d, lenet, resnet).
+"""Deep-learning kernels (softmax, bias_act, mlp, conv2d, lenet, resnet).
 
-``softmax`` is a plain NumPy program (python frontend); the network kernels
-are built through the ML frontend (:mod:`repro.ml`), which plays the role of
-the DaCeML ONNX path in the paper.  All use float32, like NPBench.
+``softmax`` and ``bias_act`` are plain NumPy programs (python frontend); the
+network kernels are built through the ML frontend (:mod:`repro.ml`), which
+plays the role of the DaCeML ONNX path in the paper.  The network kernels
+use float32, like NPBench; ``bias_act`` is the float64 map-fusion showcase
+measured by ``benchmarks/bench_o2_fusion.py``.
 """
 
 from __future__ import annotations
@@ -58,6 +60,58 @@ register_kernel(KernelSpec(
     initialize=_softmax_init, numpy_fn=_softmax_numpy, make_program=_softmax_program,
     jaxlike_grad=lambda data, wrt: jax_gradient(_softmax_jax, data, wrt),
     wrt="x", dtype=np.dtype(np.float32),
+))
+
+
+# --------------------------------------------------------------------------- bias_act
+# The canonical deep-learning epilogue every fusing compiler targets: bias add
+# -> ReLU -> residual add.  Written statement-by-statement (as layer code
+# usually is), it materialises one full-size intermediate per statement at
+# O0/O1; map fusion (optimize="O2") collapses the whole chain into a single
+# map — see benchmarks/bench_o2_fusion.py.
+def _bias_act_init(N, M, seed=42):
+    rng = rng_for(seed)
+    return {
+        "x": rng.random((N, M)) - 0.25,   # mixed signs: ReLU actually clips
+        "r": rng.random((N, M)),
+        "bias": rng.random(M) - 0.5,
+    }
+
+
+def _bias_act_numpy(x, r, bias):
+    pre = x + bias
+    act = np.maximum(pre, 0.0)
+    out = act + r
+    return np.sum(out * out)
+
+
+def _bias_act_program():
+    @repro.program
+    def bias_act(x: repro.float64[N, M], r: repro.float64[N, M],
+                 bias: repro.float64[M]):
+        pre = x + bias
+        act = np.maximum(pre, 0.0)
+        out = act + r
+        return np.sum(out * out)
+
+    return bias_act
+
+
+def _bias_act_jax(x, r, bias):
+    pre = x + bias
+    act = jnp.maximum(pre, 0.0)
+    out = act + r
+    return jnp.sum(out * out)
+
+
+register_kernel(KernelSpec(
+    name="bias_act", category="vectorized", domain="deep learning",
+    sizes={"S": {"N": 5, "M": 7}, "paper": {"N": 1200, "M": 1200}},
+    initialize=_bias_act_init, numpy_fn=_bias_act_numpy,
+    make_program=_bias_act_program,
+    jaxlike_grad=lambda data, wrt: jax_gradient(_bias_act_jax, data, wrt),
+    wrt="x",
+    notes="bias + ReLU + residual epilogue; the map-fusion (O2) showcase",
 ))
 
 

@@ -8,10 +8,25 @@
   the memory-measurement sequence.
 * :mod:`repro.passes.simplification` - dead code elimination and
   constant-condition pruning (the paper's pre-AD cleanup of configuration
-  control flow).
+  control flow), the ``optimize="O1"`` tier.
+* :mod:`repro.passes.cse` - common-subexpression elimination: duplicate
+  element-wise maps and repeated memlet reads (``optimize="O2"``).
+* :mod:`repro.passes.fusion` - map fusion: inlining element-wise producers
+  into their sole consumer, eliminating materialised intermediate arrays
+  (``optimize="O2"``).
+
+These modules implement the raw SDFG-to-SDFG rewrites; the pipeline stage
+wrappers that run them (with cache fingerprints and report notes) live in
+:mod:`repro.pipeline.stages`.
 """
 
+from repro.passes.cse import (
+    dedupe_connectors,
+    eliminate_common_subexpressions,
+    is_identity_elementwise_write,
+)
 from repro.passes.flops import count_node_flops, count_sdfg_flops, count_state_flops
+from repro.passes.fusion import fuse_elementwise_maps
 from repro.passes.memory import container_size_bytes, total_argument_bytes, transient_footprint
 from repro.passes.simplification import eliminate_dead_code, prune_constant_branches
 
@@ -22,6 +37,10 @@ __all__ = [
     "container_size_bytes",
     "transient_footprint",
     "total_argument_bytes",
+    "dedupe_connectors",
+    "eliminate_common_subexpressions",
     "eliminate_dead_code",
+    "fuse_elementwise_maps",
+    "is_identity_elementwise_write",
     "prune_constant_branches",
 ]

@@ -1,0 +1,200 @@
+"""Common-subexpression elimination within SDFG states.
+
+Two redundancies appear in lowered programs (and multiply after map fusion):
+
+* **repeated memlet reads** — one compute node reading the same container
+  element(s) through several connectors (``out * out`` lowers to two
+  connectors over the same subset); :func:`dedupe_connectors` merges them;
+* **duplicate compute nodes** — two element-wise maps in one state computing
+  the same expression over the same inputs into two different transients;
+  :func:`eliminate_common_subexpressions` keeps the first, redirects every
+  read of the second transient to the first and drops the duplicate node and
+  its descriptor.
+
+Both rewrites are value-preserving by construction: a duplicate is only
+merged when its inputs provably hold the same values at both definition
+points (same state, no intervening write to any input) and the survivor is
+the only writer of its container, so the redirected reads observe the same
+value at every program point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir import MapCompute, SDFG
+from repro.ir.nodes import ComputeNode
+from repro.ir.subsets import Index, Range
+from repro.ir.usage import UseSites, collect_uses
+from repro.symbolic import Const, Sym, as_expr, substitute
+from repro.symbolic.simplify import simplify
+
+
+def dedupe_connectors(node: ComputeNode) -> int:
+    """Merge input connectors of ``node`` that read the same data through the
+    same subset (and accumulate flag).  The expression is rewritten to use the
+    surviving connector; returns the number of connectors removed.
+
+    Only :class:`MapCompute` connectors are merged — library-node connectors
+    (``_a``/``_b``/``_in`` ...) are semantic slots the code generator looks up
+    by name, even when two of them read the same data.
+    """
+    if not isinstance(node, MapCompute):
+        return 0
+    canonical: dict[tuple, str] = {}
+    rename: dict[str, Sym] = {}
+    new_inputs = {}
+    for conn, memlet in node.inputs.items():
+        key = (memlet.data, memlet.subset, memlet.accumulate)
+        keep = canonical.get(key)
+        if keep is None:
+            canonical[key] = conn
+            new_inputs[conn] = memlet
+        else:
+            rename[conn] = Sym(keep)
+    if not rename:
+        return 0
+    node.inputs = new_inputs
+    if isinstance(node, MapCompute):
+        node.expr = substitute(node.expr, rename)
+    return len(rename)
+
+
+def is_identity_elementwise_write(node: ComputeNode, desc) -> bool:
+    """True if ``node`` is a :class:`MapCompute` that overwrites every element
+    of ``desc`` exactly once, with map parameter ``k`` writing element ``k``
+    (the normal form :meth:`StateBuilder.emit_elementwise_write` produces for
+    full-container targets).  This is the producer shape map fusion and
+    duplicate-node CSE can reason about: the container's contents are a pure
+    function of the node's inputs."""
+    if not isinstance(node, MapCompute) or node.output.accumulate:
+        return False
+    subset = node.output.subset
+    dims = tuple(subset) if subset is not None else ()
+    if len(dims) != len(node.params) or len(dims) != len(desc.shape):
+        return False
+    for dim, param, rng, size in zip(dims, node.params, node.ranges, desc.shape):
+        if not isinstance(dim, Index) or dim.value != Sym(param):
+            return False
+        if not isinstance(rng, Range):
+            return False
+        if simplify(rng.start) != Const(0) or simplify(rng.step) != Const(1):
+            return False
+        if simplify(rng.stop) != simplify(as_expr(size)):
+            return False
+    return True
+
+
+def _node_key(node: MapCompute, sdfg: SDFG) -> Optional[tuple]:
+    """Canonical identity of an element-wise map: two nodes get equal keys iff
+    they compute the same expression over the same input memlets onto outputs
+    of the same shape/dtype.  Map parameters and connector names are
+    alpha-renamed so spelling differences do not matter."""
+    desc = sdfg.arrays.get(node.output.data)
+    if desc is None or not is_identity_elementwise_write(node, desc):
+        return None
+    param_map = {p: Sym(f"__p{k}") for k, p in enumerate(node.params)}
+    items = []
+    for conn, memlet in node.inputs.items():
+        subset = memlet.subset.substituted(param_map) if memlet.subset is not None else None
+        items.append((memlet.data, repr(subset), memlet.accumulate, conn))
+    items.sort()
+    conn_map = {conn: Sym(f"__c{i}") for i, (_, _, _, conn) in enumerate(items)}
+    expr = substitute(node.expr, {**param_map, **conn_map})
+    ranges = tuple(rng.substituted(param_map) for rng in node.ranges)
+    return (
+        len(node.params),
+        repr(ranges),
+        tuple((data, sub, acc) for data, sub, acc, _ in items),
+        repr(expr),
+        desc.dtype.str,
+        desc.zero_init,
+    )
+
+
+def _redirect_reads(sdfg: SDFG, old: str, new: str) -> None:
+    for state in sdfg.all_states():
+        for node in state.nodes:
+            for conn, memlet in node.inputs.items():
+                if memlet.data == old:
+                    memlet.data = new
+
+
+def eliminate_common_subexpressions(
+    sdfg: SDFG, protect: Iterable[str] = ()
+) -> tuple[int, int]:
+    """Deduplicate repeated memlet reads and duplicate element-wise maps.
+
+    ``protect`` names containers that must survive (a user-selected gradient
+    ``output``/``wrt`` target); the program's return container is always
+    protected.  Returns ``(nodes_removed, connectors_merged)``.
+    """
+    protected = set(protect)
+    return_name = getattr(sdfg, "return_name", None)
+    if return_name:
+        protected.add(return_name)
+
+    merged_conns = 0
+    for state in sdfg.all_states():
+        for node in state.nodes:
+            merged_conns += dedupe_connectors(node)
+
+    removed = 0
+    merged_any = True
+    while merged_any:
+        # Sweep every state to a local fixed point, re-collecting uses after
+        # each merge (the redirect renames reads across the whole SDFG).  A
+        # redirect can also make two previously-distinct nodes in an earlier
+        # state identical, so repeat the sweep until nothing merges.
+        merged_any = False
+        for state in sdfg.all_states():
+            while _dedupe_state(sdfg, state, collect_uses(sdfg), protected):
+                removed += 1
+                merged_any = True
+    return removed, merged_conns
+
+
+def _sole_writer(uses: dict, name: str, node: ComputeNode) -> bool:
+    sites = uses.get(name, UseSites())
+    return len(sites.writes) == 1 and sites.writes[0].node is node
+
+
+def _dedupe_state(sdfg: SDFG, state, uses, protected) -> bool:
+    """Merge the first duplicate pair found in ``state``; True if changed."""
+    seen: dict[tuple, tuple[int, MapCompute]] = {}
+    for index, node in enumerate(state.nodes):
+        key = _node_key(node, sdfg) if isinstance(node, MapCompute) else None
+        if key is None:
+            continue
+        earlier = seen.get(key)
+        if earlier is None:
+            seen[key] = (index, node)
+            continue
+        first_index, first = earlier
+        # An intervening write to any shared input (or to the survivor's
+        # output) means the duplicate no longer observes the same values:
+        # the later node takes over as the merge candidate.
+        window = {m.data for m in first.inputs.values()} | {first.output.data}
+        if any(
+            between.output.data in window
+            for between in state.nodes[first_index + 1 : index]
+        ):
+            seen[key] = (index, node)
+            continue
+        dup_name = node.output.data
+        keep_name = first.output.data
+        dup_desc = sdfg.arrays[dup_name]
+        dup_sites = uses.get(dup_name, UseSites())
+        if (
+            not dup_desc.transient
+            or dup_name in protected
+            or dup_sites.opaque_reads
+            or not _sole_writer(uses, dup_name, node)
+            or not _sole_writer(uses, keep_name, first)
+        ):
+            continue
+        state.nodes.pop(index)
+        _redirect_reads(sdfg, dup_name, keep_name)
+        del sdfg.arrays[dup_name]
+        return True
+    return False

@@ -114,6 +114,7 @@ def _operand_shape(sdfg: SDFG, memlet) -> tuple:
 
 
 def count_state_flops(sdfg: SDFG, state: State) -> Expr:
+    """Symbolic FLOP count of one state (sum over its compute nodes)."""
     total: Expr = Const(0)
     for node in state:
         total = total + count_node_flops(sdfg, node)
@@ -121,6 +122,9 @@ def count_state_flops(sdfg: SDFG, state: State) -> Expr:
 
 
 def count_region_flops(sdfg: SDFG, region: ControlFlowRegion) -> Expr:
+    """Symbolic FLOP count of a control-flow region: states sum, loops
+    multiply by their trip count, conditionals take the most expensive
+    branch (conservative upper bound)."""
     total: Expr = Const(0)
     for element in region.elements:
         if isinstance(element, State):

@@ -54,8 +54,10 @@ from repro.pipeline.stages import (
     Autodiff,
     Codegen,
     CheckpointingSelection,
+    CommonSubexpressionElimination,
     ConstantBranchPruning,
     DeadCodeElimination,
+    MapFusion,
     Validate,
 )
 
@@ -84,6 +86,8 @@ __all__ = [
     "to_sdfg",
     "ConstantBranchPruning",
     "DeadCodeElimination",
+    "CommonSubexpressionElimination",
+    "MapFusion",
     "Validate",
     "CheckpointingSelection",
     "Autodiff",

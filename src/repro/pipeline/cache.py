@@ -96,15 +96,19 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
+    """Lookup counters of one :class:`CompilationCache` (reset by ``clear``)."""
+
     hits: int = 0
     misses: int = 0
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -125,6 +129,8 @@ class CompilationCache:
         return len(self._entries)
 
     def lookup(self, key: tuple) -> Optional[CacheEntry]:
+        """Fetch the entry under ``key`` (marking it most-recently used), or
+        ``None`` on a miss.  Updates :attr:`stats` either way."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -134,6 +140,8 @@ class CompilationCache:
         return entry
 
     def store(self, entry: CacheEntry) -> CacheEntry:
+        """Insert ``entry`` under its key, evicting least-recently-used
+        entries beyond ``maxsize``."""
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
         while len(self._entries) > self.maxsize:
@@ -141,6 +149,7 @@ class CompilationCache:
         return entry
 
     def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
         self._entries.clear()
         self.stats = CacheStats()
 

@@ -1,11 +1,14 @@
 """The compilation driver: pipeline assembly, caching and the top-level API.
 
-``repro.compile(program, optimize="O0"|"O1", checkpointing=...)`` is the
+``repro.compile(program, optimize="O0"|"O1"|"O2", checkpointing=...)`` is the
 single entry point the rest of the package routes through:
 
 * ``optimize="O1"`` (default) runs the paper's pre-AD cleanup — constant
   branch pruning followed by dead code elimination — before differentiation
-  and code generation; ``"O0"`` compiles the program as written.
+  and code generation; ``"O0"`` compiles the program as written; ``"O2"``
+  additionally deduplicates identical element-wise maps (CSE) and fuses
+  producer/consumer maps so intermediate transients are never materialised
+  (see docs/optimization-levels.md).
 * When a gradient is requested (``gradient=True``, a ``wrt`` list, or a
   checkpointing spec), the pipeline appends checkpointing-strategy selection,
   the reverse-mode AD stage and the terminal codegen stage, and the call
@@ -36,15 +39,31 @@ from repro.pipeline.stages import (
     Autodiff,
     Codegen,
     CheckpointingSelection,
+    CommonSubexpressionElimination,
     ConstantBranchPruning,
     DeadCodeElimination,
+    MapFusion,
 )
 
-#: Ordered simplification stages per optimization level.
+#: Ordered simplification stages per optimization level.  ``O0`` compiles the
+#: program as written; ``O1`` is the paper's pre-AD cleanup; ``O2`` adds
+#: duplicate-work elimination (CSE) and producer/consumer map fusion.  All
+#: levels run before AD, so gradients are generated from the optimised
+#: forward SDFG.  See docs/optimization-levels.md.
 OPT_LEVELS: dict[str, tuple] = {
     "O0": (),
     "O1": (ConstantBranchPruning, DeadCodeElimination),
+    "O2": (
+        ConstantBranchPruning,
+        DeadCodeElimination,
+        CommonSubexpressionElimination,
+        MapFusion,
+    ),
 }
+
+#: Stages that take an ``extra_keep`` tuple of containers they must preserve
+#: even when those look dead/mergeable (gradient targets, result names).
+_KEEP_AWARE = (DeadCodeElimination, CommonSubexpressionElimination, MapFusion)
 
 
 def to_sdfg(program) -> SDFG:
@@ -89,7 +108,7 @@ def build_pipeline(
     for value in (output, wrt, result_names):
         keep.extend([value] if isinstance(value, str) else list(value or ()))
     passes: list = [
-        cls(extra_keep=tuple(keep)) if cls is DeadCodeElimination else cls()
+        cls(extra_keep=tuple(keep)) if issubclass(cls, _KEEP_AWARE) else cls()
         for cls in OPT_LEVELS[optimize]
     ]
     passes.extend(extra_passes)

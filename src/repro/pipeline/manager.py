@@ -41,9 +41,11 @@ class PassRecord:
 
     @property
     def delta(self) -> int:
+        """IR-size change caused by the pass (negative = IR shrank)."""
         return self.nodes_after - self.nodes_before
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form (benchmark scripts persist these)."""
         return {
             "name": self.name,
             "seconds": self.seconds,
@@ -64,15 +66,19 @@ class PipelineReport:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of per-pass wall times (the pipeline's compile cost)."""
         return sum(record.seconds for record in self.records)
 
     def record_for(self, name: str) -> Optional[PassRecord]:
+        """The first record of the pass called ``name``, or ``None`` if the
+        pipeline did not run it."""
         for record in self.records:
             if record.name == name:
                 return record
         return None
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form (benchmark scripts persist these)."""
         return {
             "pipeline": self.pipeline,
             "cache_hit": self.cache_hit,
@@ -81,6 +87,8 @@ class PipelineReport:
         }
 
     def pretty(self) -> str:
+        """Plain-text table: one row per pass with wall time, IR size
+        before/after and the pass's diagnostic notes."""
         from repro.harness.report import format_pipeline_report
 
         return format_pipeline_report(self)

@@ -80,9 +80,20 @@ class Pass:
     name: str = "pass"
 
     def apply(self, sdfg: SDFG, ctx: PassContext) -> Optional[SDFG]:
+        """Transform ``sdfg`` (in place or by returning a new one).
+
+        The manager hands every pass a private copy of the caller's SDFG
+        (copy-in), so passes may mutate freely; whatever the last pass leaves
+        behind is the pipeline's result (copy-out).  Returning ``None`` means
+        "transformed in place"; returning an SDFG replaces the current one.
+        """
         raise NotImplementedError
 
     def fingerprint(self) -> tuple:
+        """Stable identity of this pass configuration for the compilation
+        cache.  Must cover every constructor argument that changes the pass's
+        output; two passes with equal fingerprints must produce identical
+        results on identical inputs, or the cache will serve stale objects."""
         return (self.name,)
 
     def __repr__(self) -> str:
@@ -195,4 +206,5 @@ def make_pass(spec) -> Pass:
 
 
 def available_passes() -> list[str]:
+    """Sorted names of every registered pass (builtin + user-registered)."""
     return sorted(PASS_REGISTRY)

@@ -5,6 +5,9 @@ frontend-to-binary flow is one ordered pipeline:
 
 * :class:`ConstantBranchPruning` / :class:`DeadCodeElimination` — the paper's
   pre-AD cleanup (Section IV-B), default at ``optimize="O1"``;
+* :class:`CommonSubexpressionElimination` / :class:`MapFusion` — the ``"O2"``
+  tier: duplicate-work removal and producer/consumer map fusion, run before
+  AD so both the forward and the generated backward pass benefit;
 * :class:`CheckpointingSelection` — resolves the user's checkpointing spec
   (strategy instance or name) into the strategy the AD stage consumes;
 * :class:`Autodiff` — reverse-mode differentiation
@@ -60,6 +63,60 @@ class DeadCodeElimination(Pass):
         keep = {name for name in self.extra_keep if name in sdfg.arrays}
         removed = eliminate_dead_code(sdfg, extra_keep=keep)
         ctx.note("nodes_removed", removed)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self.extra_keep)
+
+
+class CommonSubexpressionElimination(Pass):
+    """Deduplicate identical element-wise maps and repeated memlet reads
+    within each state (see :func:`repro.passes.cse.eliminate_common_subexpressions`).
+
+    ``extra_keep`` protects containers later stages name explicitly (gradient
+    ``output``/``wrt``, codegen ``result_names``) from being merged away.
+    """
+
+    name = "common-subexpression-elimination"
+
+    def __init__(self, extra_keep: Sequence[str] = ()) -> None:
+        self.extra_keep = tuple(extra_keep)
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.cse import eliminate_common_subexpressions
+
+        protect = {name for name in self.extra_keep if name in sdfg.arrays}
+        nodes, conns = eliminate_common_subexpressions(sdfg, protect=protect)
+        ctx.note("nodes_deduplicated", nodes)
+        ctx.note("connectors_merged", conns)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self.extra_keep)
+
+
+class MapFusion(Pass):
+    """Fuse element-wise producer maps into their sole consumer, eliminating
+    the materialised transient between them (see
+    :func:`repro.passes.fusion.fuse_elementwise_maps`).
+
+    Runs pre-AD: the backward pass is generated from the fused forward SDFG,
+    so gradients see the same savings.  ``extra_keep`` protects containers a
+    later stage differentiates or returns.
+    """
+
+    name = "map-fusion"
+
+    def __init__(self, extra_keep: Sequence[str] = ()) -> None:
+        self.extra_keep = tuple(extra_keep)
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.fusion import fuse_elementwise_maps
+
+        protect = {name for name in self.extra_keep if name in sdfg.arrays}
+        fused = fuse_elementwise_maps(sdfg, protect=protect)
+        ctx.note("maps_fused", fused)
+        ctx.note("transients_eliminated", fused)
         return sdfg
 
     def fingerprint(self) -> tuple:
@@ -228,9 +285,13 @@ def strategy_fingerprint(spec) -> tuple:
 
 
 def register_builtin_passes() -> None:
+    """Populate the global registry with every built-in stage, so pipelines
+    can be assembled by name (``PassManager(["map-fusion", "codegen"])``)."""
     for cls in (
         ConstantBranchPruning,
         DeadCodeElimination,
+        CommonSubexpressionElimination,
+        MapFusion,
         Validate,
         CheckpointingSelection,
         Autodiff,

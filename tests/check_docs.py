@@ -1,0 +1,92 @@
+"""Documentation link checker: ``python -m tests.check_docs``.
+
+Verifies, for every Markdown file in ``docs/`` plus ``README.md`` and
+``ROADMAP.md``:
+
+* every relative Markdown link ``[text](target)`` resolves to an existing
+  file (fragments are stripped; absolute URLs are ignored);
+* every backticked code reference that names a file or directory
+  (``src/repro/passes/cse.py``, ``benchmarks/``, ``repro/pipeline/`` —
+  package-relative paths are also tried under ``src/``) exists;
+* ``path.py::identifier`` test references point at existing files.
+
+Exits non-zero listing every broken reference, so CI fails when docs rot.
+Also importable as a pytest test (``test_docs_links_resolve``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose references are checked.
+DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "ROADMAP.md",
+]
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_RE = re.compile(r"`([^`\n]+)`")
+#: Backticked strings treated as path references.
+_PATHLIKE_RE = re.compile(r"^[\w./-]+(\.py|\.md|/)(::[\w:.]+)?$")
+
+
+def _exists_as_path(ref: str) -> bool:
+    ref = ref.split("::")[0]
+    candidates = [REPO_ROOT / ref]
+    if not ref.startswith(("src/", "docs/", "tests/", "benchmarks/", "examples/")):
+        candidates.append(REPO_ROOT / "src" / ref)
+    return any(c.exists() for c in candidates)
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken references in one Markdown file (empty = clean)."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#")[0]
+        if not target:
+            continue  # same-file anchor
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+
+    for match in _CODE_RE.finditer(text):
+        ref = match.group(1)
+        if not _PATHLIKE_RE.match(ref) or "/" not in ref:
+            continue
+        if not _exists_as_path(ref):
+            errors.append(f"{path.relative_to(REPO_ROOT)}: missing code reference -> {ref}")
+    return errors
+
+
+def run() -> int:
+    all_errors = []
+    for path in DOC_FILES:
+        all_errors.extend(check_file(path))
+    if all_errors:
+        print(f"check_docs: {len(all_errors)} broken reference(s):", file=sys.stderr)
+        for error in all_errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(DOC_FILES)} files, all links and code references resolve")
+    return 0
+
+
+def test_docs_links_resolve():
+    """Pytest entry point: the docs must contain no broken references."""
+    errors = []
+    for path in DOC_FILES:
+        errors.extend(check_file(path))
+    assert not errors, "\n".join(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -129,6 +129,36 @@ class TestCompilationCache:
         assert o0.key != o1.key
         assert cache.stats.misses == 2
 
+    def test_optimization_levels_have_distinct_cache_entries(self):
+        # O0 / O1 / O2 pipelines have distinct fingerprints: compiling the
+        # same program at each level produces three separate cache entries,
+        # and a warm recompile at any level hits its own entry.
+        cache = CompilationCache()
+        program = make_program()
+        cold = {
+            level: compile_forward(program, level, cache=cache)
+            for level in ("O0", "O1", "O2")
+        }
+        keys = {outcome.key for outcome in cold.values()}
+        assert len(keys) == 3
+        assert cache.stats.misses == 3 and len(cache) == 3
+
+        warm = compile_forward(program, "O2", cache=cache)
+        assert warm.cache_hit
+        assert warm.compiled is cold["O2"].compiled
+        assert warm.compiled is not cold["O1"].compiled
+
+    def test_gradient_optimization_levels_are_distinct_entries(self):
+        cache = CompilationCache()
+        program = make_program()
+        keys = {
+            compile_gradient(program, wrt="A", optimize=level, cache=cache).key
+            for level in ("O0", "O1", "O2")
+        }
+        assert len(keys) == 3
+        warm = compile_gradient(program, wrt="A", optimize="O2", cache=cache)
+        assert warm.cache_hit
+
     def test_different_wrt_selections_are_distinct_entries(self):
         @repro.program
         def two(A: repro.float64[N], B: repro.float64[N]):
