@@ -57,15 +57,19 @@ def clone_node_with_rename(node: ComputeNode, rename: dict[str, str]) -> Compute
 
 
 def reversed_loop_bounds(loop: LoopRegion) -> tuple[Expr, Expr, Expr]:
-    """Iteration bounds visiting the forward loop's index set in reverse order."""
+    """Iteration bounds visiting the forward loop's index set in reverse order.
+
+    The trip count comes from :meth:`repro.ir.subsets.Range.length_expr` —
+    the one length formula in the codebase (handles negative constant steps
+    with the downward-counting division).
+    """
+    from repro.ir.subsets import Range
+
     start, stop, step = loop.start, loop.stop, loop.step
-    if isinstance(simplify(step), Const) and simplify(step).value < 0:
-        step_value = simplify(step)
-        trip = simplify((start - stop + (-step_value.value) - Const(1)) // Const(-step_value.value))
-        last = simplify(start + (trip - Const(1)) * step)
-        return last, simplify(start + Const(1)), simplify(UnOp("-", step))
-    trip = simplify((stop - start + step - Const(1)) // step)
+    trip = Range(start, stop, step).length_expr()
     last = simplify(start + (trip - Const(1)) * step)
+    if isinstance(simplify(step), Const) and simplify(step).value < 0:
+        return last, simplify(start + Const(1)), simplify(UnOp("-", step))
     return last, simplify(start - Const(1)), simplify(UnOp("-", step))
 
 

@@ -1,0 +1,432 @@
+"""Offset-shifted hoisting of producer subtrees (the O3 stencil backend).
+
+Multi-offset map fusion (:mod:`repro.passes.fusion` with a cost model)
+substitutes a producer expression into its consumer once per distinct read
+offset, so a two-point stencil over a fused producer ``P`` contains the whole
+tree of ``P`` twice — identical up to a constant shift of the map parameter::
+
+    out[k] = P(k+1) - P(k)          # P's tree appears at offsets 1 and 0
+
+Emitting that verbatim would evaluate ``P`` once per offset, which is exactly
+the duplicated work the pre-O3 fuser refused to create.  This module restores
+single evaluation at code-generation time: *shift-equivalent* subtree
+families are detected in the map expression, the family's base tree is
+evaluated **once over the union window** into a temporary, and every member
+becomes a shifted slice of that temporary::
+
+    __stencil0 = <P over [0, L+1)>
+    out[0:L] = __stencil0[1:L+1] - __stencil0[0:L]
+
+Two subtrees are shift-equivalent when they are structurally identical after
+resolving input connectors to ``(array, index)`` accesses and normalising
+every index of the form ``param + constant`` by the subtree's minimal
+constant per parameter.  A family is only hoisted when the union window's
+reads are *provably in bounds*
+(:func:`repro.symbolic.affine.provable_constant` on ``shape - window_end``);
+an unprovable family is simply left inline — semantics never depend on
+hoisting, only the amount of recomputation does.
+
+Families nest (a fused chain of stencil stages produces shifted trees inside
+shifted trees); the detector recurses into each hoisted binding, so a chain
+of K stages emits K window temporaries and evaluates every stage once.
+
+The cost model (:mod:`repro.passes.cost`) prices multi-offset fusion as
+cheap precisely when this rewrite applies; the fusion pass mirrors the same
+shift/bounds conditions when it classifies a candidate as "hoistable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.memlet import Memlet
+from repro.ir.nodes import MapCompute
+from repro.ir.subsets import Index, Range, Subset
+from repro.symbolic import (
+    Const,
+    Expr,
+    Sym,
+    affine_coefficients,
+    provable_constant,
+    substitute,
+)
+from repro.symbolic.affine import unit_shift
+from repro.symbolic.simplify import simplify
+
+#: Prefix of hoisted union-window temporaries in generated source.
+STENCIL_PREFIX = "__stencil"
+
+
+@dataclass
+class HoistResult:
+    """Outcome of :func:`hoist_offset_families` on one map.
+
+    ``bindings`` are pseudo :class:`MapCompute` nodes (innermost first) whose
+    output memlet names the window temporary and whose domain is the union
+    window; ``expr`` is the map expression with every family member replaced
+    by a virtual connector; ``virtual_inputs`` maps those connectors to
+    memlets reading the window temporaries at the member's relative shift.
+    """
+
+    bindings: list[MapCompute]
+    expr: Expr
+    virtual_inputs: dict[str, Memlet]
+
+
+def build_shape_env(sdfg) -> dict[str, tuple]:
+    """Shape expressions of every container, for window bounds proofs."""
+    return {name: desc.shape_exprs() for name, desc in sdfg.arrays.items()}
+
+
+# ------------------------------------------------------------------ access info
+def _dim_info(expr: Expr, params: tuple[str, ...]):
+    """Classify one index expression: ``("shift", param, c)`` for
+    ``param + c`` (integer ``c``, via the shared
+    :func:`repro.symbolic.affine.unit_shift` classifier the fusion pass also
+    uses), ``("const", repr)`` for a parameter-free index, ``None`` for
+    anything else (kills shift-equivalence)."""
+    shift = unit_shift(expr, params)
+    if shift is not None:
+        return ("shift",) + shift
+    coeffs = affine_coefficients(expr, params)
+    if coeffs is None:
+        return None
+    if any(coeffs[p] != Const(0) for p in params):
+        return None  # uses a parameter, but not as a unit shift
+    return ("const", repr(simplify(expr)))
+
+
+def _conn_info(memlet: Memlet, params: tuple[str, ...]):
+    """``("access", data, dim infos)`` for an Index-subset read,
+    ``("whole", data)`` for a whole-container read (parameter-invariant), or
+    ``None`` for a read no shift family may contain."""
+    if memlet.accumulate:
+        return None
+    if memlet.subset is None:
+        return ("whole", memlet.data)
+    dims = []
+    for dim in memlet.subset:
+        if not isinstance(dim, Index):
+            return None
+        info = _dim_info(dim.value, params)
+        if info is None:
+            return None
+        dims.append(info)
+    return ("access", memlet.data, tuple(dims))
+
+
+def _conn_infos(inputs: dict[str, Memlet], params: tuple[str, ...]) -> dict:
+    return {conn: _conn_info(memlet, params) for conn, memlet in inputs.items()}
+
+
+# ------------------------------------------------------------------ signatures
+def _is_leaf(tree: Expr) -> bool:
+    return isinstance(tree, (Sym, Const))
+
+
+def _classify(tree: Expr, conn_infos: dict, params: set[str]):
+    """``(signature, shifts)`` of a subtree, or ``None``.
+
+    ``signature`` is a hashable structural serialisation in which every
+    connector leaf is replaced by its access normalised to the subtree's
+    minimal per-parameter offset; two subtrees with equal signatures compute
+    the same values at relative offsets ``shifts2 - shifts1`` per parameter.
+    ``None`` when the subtree references a map parameter directly, contains an
+    ineligible connector, or no shifted access at all (nothing to hoist).
+    """
+    base: dict[str, int] = {}
+
+    def gather(node: Expr) -> bool:
+        if isinstance(node, Sym):
+            if node.name in conn_infos:
+                info = conn_infos[node.name]
+                if info is None:
+                    return False
+                if info[0] == "access":
+                    for dim in info[2]:
+                        if dim[0] == "shift":
+                            _, param, constant = dim
+                            if param not in base or constant < base[param]:
+                                base[param] = constant
+                return True
+            return node.name not in params
+        return all(gather(child) for child in node.children)
+
+    if not gather(tree) or not base:
+        return None
+
+    def serialize(node: Expr):
+        if isinstance(node, Sym):
+            info = conn_infos.get(node.name)
+            if info is not None:
+                if info[0] == "whole":
+                    return ("whole", info[1])
+                _, data, dims = info
+                normalized = tuple(
+                    ("shift", d[1], d[2] - base[d[1]]) if d[0] == "shift" else d
+                    for d in dims
+                )
+                return ("access", data, normalized)
+            return ("sym", node.name)
+        if isinstance(node, Const):
+            return ("const", repr(node.value))
+        return (
+            type(node).__name__,
+            getattr(node, "op", getattr(node, "func", "")),
+            tuple(serialize(child) for child in node.children),
+        )
+
+    return serialize(tree), dict(base)
+
+
+def _collect_occurrences(expr: Expr, conn_infos: dict, params: set[str]):
+    """Classifiable subtrees grouped by signature; structurally identical
+    occurrences collapse to one dict entry."""
+    groups: dict[tuple, dict[Expr, dict]] = {}
+
+    def visit(tree: Expr) -> None:
+        if _is_leaf(tree):
+            return
+        result = _classify(tree, conn_infos, params)
+        if result is not None:
+            signature, shifts = result
+            groups.setdefault(signature, {})[tree] = shifts
+        for child in tree.children:
+            visit(child)
+
+    visit(expr)
+    return groups
+
+
+def _select_family(expr: Expr, groups: dict, conn_infos: dict, params: set[str],
+                   rejected: set):
+    """Outermost, leftmost subtree whose signature has members at >= 2
+    distinct shifts (top-down maximal, mirroring subexpression hoisting)."""
+    found: list[tuple] = []
+
+    def visit(tree: Expr) -> bool:
+        if _is_leaf(tree):
+            return False
+        result = _classify(tree, conn_infos, params)
+        if result is not None:
+            signature, _ = result
+            members = groups.get(signature, {})
+            distinct = {tuple(sorted(s.items())) for s in members.values()}
+            if len(distinct) >= 2 and signature not in rejected:
+                found.append((signature, members))
+                return True
+        return any(visit(child) for child in tree.children)
+
+    visit(expr)
+    return found[0] if found else None
+
+
+# ------------------------------------------------------------------ application
+def _fresh(prefix: str, reserved: set[str]) -> str:
+    counter = 0
+    while True:
+        name = f"{prefix}{counter}"
+        counter += 1
+        if name not in reserved:
+            reserved.add(name)
+            return name
+
+
+def _conn_leaves(tree: Expr, conn_infos: dict) -> set[str]:
+    leaves: set[str] = set()
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, Sym):
+            if node.name in conn_infos:
+                leaves.add(node.name)
+            return
+        for child in node.children:
+            visit(child)
+
+    visit(tree)
+    return leaves
+
+
+def _apply_family(params: tuple[str, ...], ranges: tuple[Range, ...],
+                  inputs: dict[str, Memlet], members: dict, conn_infos: dict,
+                  shape_env: dict, reserved: set[str]):
+    """Build the union-window pseudo map for one family.
+
+    Returns ``(binding_node, replacements, virtual_inputs, window_shape)``,
+    or ``None`` when the map is not normalised or the window bounds cannot
+    be proven.
+    """
+    shift_params = sorted({p for shifts in members.values() for p in shifts})
+    family_params = [p for p in params if p in shift_params]
+    if len(family_params) != len(shift_params):
+        return None
+    param_ranges: dict[str, Range] = {}
+    for param, rng in zip(params, ranges):
+        if param in shift_params:
+            if simplify(rng.start) != Const(0) or simplify(rng.step) != Const(1):
+                return None
+            param_ranges[param] = rng
+
+    min_shift = {
+        p: min(shifts.get(p, 0) for shifts in members.values()) for p in family_params
+    }
+    span = {
+        p: max(shifts.get(p, 0) for shifts in members.values()) - min_shift[p]
+        for p in family_params
+    }
+    window_stops = {
+        p: simplify(param_ranges[p].stop + Const(span[p])) for p in family_params
+    }
+
+    # Base tree: any member, shifted down to the family's minimal offsets.
+    member_tree, member_shifts = next(iter(members.items()))
+    delta = {p: member_shifts.get(p, 0) - min_shift[p] for p in family_params}
+
+    pseudo_inputs: dict[str, Memlet] = {}
+    conn_map: dict[str, Expr] = {}
+    access_to_conn: dict[tuple, str] = {}
+    local_names: set[str] = set()
+
+    for conn in sorted(_conn_leaves(member_tree, conn_infos)):
+        info = conn_infos[conn]
+        if info[0] == "whole":
+            key = ("whole", info[1])
+            pseudo = access_to_conn.get(key)
+            if pseudo is None:
+                pseudo = _fresh("__w", local_names)
+                access_to_conn[key] = pseudo
+                pseudo_inputs[pseudo] = Memlet(info[1], None)
+            conn_map[conn] = Sym(pseudo)
+            continue
+        _, data, dims = info
+        index_exprs: list[Expr] = []
+        descriptor: list = [data]
+        ok = True
+        for axis, dim in enumerate(dims):
+            if dim[0] == "shift":
+                _, param, constant = dim
+                new_const = constant - delta.get(param, 0)
+                # Union-window bounds: the binding evaluates this access for
+                # window elements [0, stop + span); the whole slice
+                # [new_const, new_const + window_stop) must stay inside the
+                # array, provably.
+                shape = shape_env.get(data)
+                if new_const < 0 or shape is None or axis >= len(shape):
+                    ok = False
+                    break
+                slack = provable_constant(
+                    simplify(shape[axis] - (window_stops[param] + Const(new_const)))
+                )
+                if slack is None or slack < 0:
+                    ok = False
+                    break
+                index_exprs.append(simplify(Const(new_const) + Sym(param)))
+                descriptor.append(("shift", param, new_const))
+            else:
+                original = inputs[conn].subset[axis].value
+                index_exprs.append(original)
+                descriptor.append(("const", repr(original)))
+        if not ok:
+            return None
+        key = tuple(descriptor)
+        pseudo = access_to_conn.get(key)
+        if pseudo is None:
+            pseudo = _fresh("__w", local_names)
+            access_to_conn[key] = pseudo
+            pseudo_inputs[pseudo] = Memlet(data, Subset(Index(e) for e in index_exprs))
+        conn_map[conn] = Sym(pseudo)
+
+    base_expr = substitute(member_tree, conn_map)
+    binding_name = _fresh(STENCIL_PREFIX, reserved)
+    binding = MapCompute(
+        params=family_params,
+        ranges=[Range(Const(0), window_stops[p], Const(1)) for p in family_params],
+        expr=base_expr,
+        inputs=pseudo_inputs,
+        output=Memlet(binding_name, Subset(Index(Sym(p)) for p in family_params)),
+        label=binding_name,
+    )
+
+    replacements: dict[Expr, Expr] = {}
+    virtual_inputs: dict[str, Memlet] = {}
+    shift_to_conn: dict[tuple, str] = {}
+    for tree, shifts in members.items():
+        relative = tuple(shifts.get(p, 0) - min_shift[p] for p in family_params)
+        vconn = shift_to_conn.get(relative)
+        if vconn is None:
+            vconn = _fresh("__sf", reserved)
+            shift_to_conn[relative] = vconn
+            virtual_inputs[vconn] = Memlet(
+                binding_name,
+                Subset(
+                    Index(simplify(Const(offset) + Sym(p)))
+                    for p, offset in zip(family_params, relative)
+                ),
+            )
+        replacements[tree] = Sym(vconn)
+
+    window_shape = tuple(window_stops[p] for p in family_params)
+    return binding, replacements, virtual_inputs, window_shape
+
+
+def hoist_offset_families(node: MapCompute, shape_env: dict,
+                          reserved: set[str]) -> Optional[HoistResult]:
+    """Detect and hoist every shift-equivalent family in ``node``'s
+    expression.  ``reserved`` (mutated) holds every name already in scope of
+    the generated function; binding names are drawn fresh from it.  Returns
+    ``None`` when nothing hoists — the caller emits the map unchanged.
+    """
+    from repro.codegen.subexpr import _replace  # structural substitution
+
+    if not node.params:
+        return None
+    shape_env = dict(shape_env)
+    inputs = dict(node.inputs)
+    conn_infos = _conn_infos(inputs, node.params)
+    params = set(node.params)
+    expr = node.expr
+    bindings: list[MapCompute] = []
+    virtual_inputs: dict[str, Memlet] = {}
+    rejected: set = set()
+
+    while True:
+        groups = _collect_occurrences(expr, conn_infos, params)
+        family = _select_family(expr, groups, conn_infos, params, rejected)
+        if family is None:
+            break
+        signature, members = family
+        applied = _apply_family(
+            node.params, node.ranges, inputs, members, conn_infos, shape_env,
+            reserved,
+        )
+        if applied is None:
+            rejected.add(signature)
+            continue
+        binding, replacements, new_virtuals, window_shape = applied
+
+        # Families inside the binding's own body (fused chains of stencil
+        # stages) hoist recursively; inner bindings are emitted first.
+        inner = hoist_offset_families(binding, shape_env, reserved)
+        if inner is not None:
+            binding = MapCompute(
+                params=binding.params,
+                ranges=binding.ranges,
+                expr=inner.expr,
+                inputs={**binding.inputs, **inner.virtual_inputs},
+                output=binding.output,
+                label=binding.label,
+            )
+            bindings.extend(inner.bindings)
+
+        bindings.append(binding)
+        shape_env[binding.output.data] = window_shape
+        expr = _replace(expr, replacements)
+        virtual_inputs.update(new_virtuals)
+        inputs.update(new_virtuals)
+        for conn, memlet in new_virtuals.items():
+            conn_infos[conn] = _conn_info(memlet, node.params)
+
+    if not bindings:
+        return None
+    return HoistResult(bindings=bindings, expr=expr, virtual_inputs=virtual_inputs)

@@ -251,13 +251,25 @@ class ExpressionLowering:
                 item = items[value_dim]
                 if isinstance(item, tuple):  # (lo, hi, st) slice in value coordinates
                     lo, hi, st = item
+                    step = simplify(st)
+                    if isinstance(step, Const) and step.value < 0:
+                        # The slice-default normalisation below assumes a
+                        # forward traversal (lo -> 0, hi -> size); silently
+                        # composing a negative step would produce an empty or
+                        # wrong region, so reject it outright.
+                        raise UnsupportedFeatureError(
+                            "Negative-step slices (e.g. t[::-1]) are not "
+                            "supported; iterate with a reversed loop instead"
+                        )
                     lo = self._normalize_index(lo, size)
                     hi = self._normalize_bound(hi, size)
                     new_start = simplify(dim.start + dim.step * lo)
                     new_stop = simplify(dim.start + dim.step * hi)
                     new_step = simplify(dim.step * st)
                     new_dims.append(Range(new_start, new_stop, new_step))
-                    new_shape.append(simplify((hi - lo + st - Const(1)) // st))
+                    # Slice length in value coordinates: one formula for the
+                    # whole codebase (unit steps stay division-free).
+                    new_shape.append(Range(lo, hi, st).length_expr())
                 else:  # single index expression in value coordinates
                     index = self._normalize_index(item, size)
                     new_dims.append(Index(simplify(dim.start + dim.step * index)))

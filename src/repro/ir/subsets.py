@@ -63,16 +63,30 @@ class Range:
         )
 
     def length_expr(self) -> Expr:
-        """Number of elements: ceil((stop - start) / step) for positive step.
+        """Number of elements, matching ``len(range(start, stop, step))`` for
+        well-formed (non-empty-direction) ranges.
 
-        The common unit-step case is ``stop - start`` exactly, which keeps
-        length expressions in a form structural comparisons (full-write
-        checks, fusion's identity test) and emitted slices can work with.
+        The common unit-step cases stay division-free — ``stop - start`` for
+        step 1 and ``start - stop`` for step -1 — which keeps length
+        expressions in a form structural comparisons (full-write checks,
+        fusion's identity test) and emitted slices can work with.  Constant
+        negative steps use the downward-counting formula
+        ``(start - stop + |step| - 1) // |step|`` (the upward formula would
+        overcount by one for every non-exact division).  A *symbolic* step is
+        assumed positive — the frontend only produces symbolic steps from
+        forward slices — and uses the upward ceiling division.
         """
-        if simplify(self.step) == Const(1):
+        step = simplify(self.step)
+        if step == Const(1):
             return simplify(self.stop - self.start)
+        if step == Const(-1):
+            return simplify(self.start - self.stop)
+        if isinstance(step, Const) and not isinstance(step.value, bool) and step.value < 0:
+            magnitude = Const(-step.value)
+            diff = self.start - self.stop
+            return simplify((diff + magnitude - Const(1)) // magnitude)
         diff = self.stop - self.start
-        return simplify((diff + self.step - Const(1)) // self.step)
+        return simplify((diff + step - Const(1)) // step)
 
     def concrete_length(self, symbol_values: Mapping[str, int]) -> int:
         start = int(evaluate(self.start, symbol_values))

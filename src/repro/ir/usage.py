@@ -79,6 +79,29 @@ class UseSites:
     def read_nodes(self) -> set[int]:
         return {id(site.node) for site in self.reads}
 
+    def sole_reader(self) -> Optional[ComputeNode]:
+        """The one node performing every read of this container, or ``None``
+        when there are no reads or several distinct readers.  Single-consumer
+        checks (map fusion) start here."""
+        nodes = self.read_nodes()
+        if len(nodes) != 1:
+            return None
+        return self.reads[0].node
+
+    def traffic_sites(self) -> Iterator[UseSite]:
+        """Every use site that moves this container's data through a memlet,
+        writes then reads (accumulating writes appear once per role).  The
+        site's node provides the iteration-domain context a per-element map
+        memlet needs; summed by
+        :meth:`repro.passes.cost.CostModel.container_traffic_bytes` into the
+        per-container traffic figure passes can query."""
+        for site in self.writes:
+            if site.memlet is not None:
+                yield site
+        for site in self.reads:
+            if site.memlet is not None:
+                yield site
+
 
 def _walk_states(
     region: ControlFlowRegion,

@@ -396,3 +396,58 @@ _spec("adi", "numerical methods", {"S": {"N": 8, "TSTEPS": 2}, "paper": {"N": 64
       paper_speedup=0.11,
       notes="simplified alternating-direction sweeps (nonlinear damping instead of the "
             "full tridiagonal solves); row/column sequential dependency preserved")
+
+
+# --------------------------------------------------------------------------- smooth_chain
+# A feed-forward cascade of two-point smoothing stages (a binomial filter
+# written statement-per-stage, the way stencil codes compose operators).
+# Every stage reads its predecessor at two *distinct* offsets, so nothing
+# here fuses at O2; optimize="O3" fuses the whole cascade into one map and
+# evaluates each stage once over its union window (offset-shifted hoisting)
+# — the showcase for the cost-model fusion tier, measured by
+# benchmarks/bench_o3_stencil_fusion.py.
+def _smooth_chain_init(N, seed=42):
+    rng = rng_for(seed)
+    return {"A": positive(rng, N)}
+
+
+def _smooth_chain_numpy(A):
+    u1 = A[:-1] + A[1:]
+    u2 = u1[:-1] + u1[1:]
+    u3 = u2[:-1] + u2[1:]
+    u4 = u3[:-1] + u3[1:]
+    u5 = u4[:-1] + u4[1:]
+    u6 = u5[:-1] + u5[1:]
+    u7 = u6[:-1] + u6[1:]
+    out = 0.00390625 * (u7[:-1] + u7[1:])
+    return np.sum(out)
+
+
+def _smooth_chain_program():
+    @repro.program
+    def smooth_chain(A: repro.float64[N]):
+        u1 = A[:-1] + A[1:]
+        u2 = u1[:-1] + u1[1:]
+        u3 = u2[:-1] + u2[1:]
+        u4 = u3[:-1] + u3[1:]
+        u5 = u4[:-1] + u4[1:]
+        u6 = u5[:-1] + u5[1:]
+        u7 = u6[:-1] + u6[1:]
+        out = 0.00390625 * (u7[:-1] + u7[1:])
+        return np.sum(out)
+
+    return smooth_chain
+
+
+def _smooth_chain_jax(A):
+    u = A
+    for _ in range(8):
+        u = u[:-1] + u[1:]
+    return jnp.sum(0.00390625 * u)
+
+
+_spec("smooth_chain", "stencil", {"S": {"N": 32}, "paper": {"N": 400000}},
+      _smooth_chain_init, _smooth_chain_numpy, _smooth_chain_program,
+      _smooth_chain_jax, wrt="A",
+      notes="eight-stage binomial smoothing cascade; every stage reads two "
+            "distinct offsets, so only the O3 cost-model fusion tier fuses it")

@@ -13,27 +13,46 @@
   element-wise maps and repeated memlet reads (``optimize="O2"``).
 * :mod:`repro.passes.fusion` - map fusion: inlining element-wise producers
   into their sole consumer, eliminating materialised intermediate arrays
-  (``optimize="O2"``).
+  (``optimize="O2"``); with a cost model also across distinct stencil
+  offsets and gradient-aware (``optimize="O3"``).
+* :mod:`repro.passes.cost` - the combined FLOP + memory-traffic cost model
+  that prices those decisions (``optimize="O3"``, docs/cost-model.md).
 
 These modules implement the raw SDFG-to-SDFG rewrites; the pipeline stage
 wrappers that run them (with cache fingerprints and report notes) live in
 :mod:`repro.pipeline.stages`.
 """
 
+from repro.passes.cost import (
+    CostModel,
+    CostModelConfig,
+    FusionDecision,
+    summarize_decisions,
+)
 from repro.passes.cse import (
     dedupe_connectors,
     eliminate_common_subexpressions,
     is_identity_elementwise_write,
 )
-from repro.passes.flops import count_node_flops, count_sdfg_flops, count_state_flops
+from repro.passes.flops import (
+    count_node_flops,
+    count_sdfg_flops,
+    count_state_flops,
+    expr_op_count,
+)
 from repro.passes.fusion import fuse_elementwise_maps
 from repro.passes.memory import container_size_bytes, total_argument_bytes, transient_footprint
 from repro.passes.simplification import eliminate_dead_code, prune_constant_branches
 
 __all__ = [
+    "CostModel",
+    "CostModelConfig",
+    "FusionDecision",
+    "summarize_decisions",
     "count_node_flops",
     "count_state_flops",
     "count_sdfg_flops",
+    "expr_op_count",
     "container_size_bytes",
     "transient_footprint",
     "total_argument_bytes",

@@ -25,24 +25,27 @@ from repro.symbolic import BinOp, Call, Compare, Const, Expr, IfExp, Sym, UnOp, 
 from repro.symbolic.simplify import simplify
 
 
-def _expr_op_count(expr: Expr) -> int:
-    """Number of scalar floating-point operations in one tasklet evaluation."""
+def expr_op_count(expr: Expr) -> int:
+    """Number of scalar floating-point operations in one tasklet evaluation.
+
+    This is the per-element FLOP model shared by the ILP checkpointing
+    formulation and the O3 fusion cost model (:mod:`repro.passes.cost`)."""
     if isinstance(expr, (Const, Sym)):
         return 0
     if isinstance(expr, UnOp):
-        return 1 + _expr_op_count(expr.operand)
+        return 1 + expr_op_count(expr.operand)
     if isinstance(expr, BinOp):
-        return 1 + _expr_op_count(expr.left) + _expr_op_count(expr.right)
+        return 1 + expr_op_count(expr.left) + expr_op_count(expr.right)
     if isinstance(expr, Compare):
-        return 1 + _expr_op_count(expr.left) + _expr_op_count(expr.right)
+        return 1 + expr_op_count(expr.left) + expr_op_count(expr.right)
     if isinstance(expr, Call):
         # Transcendental calls are counted as a handful of flops.
-        return 4 + sum(_expr_op_count(a) for a in expr.args)
+        return 4 + sum(expr_op_count(a) for a in expr.args)
     if isinstance(expr, IfExp):
         return (
             1
-            + _expr_op_count(expr.condition)
-            + max(_expr_op_count(expr.then), _expr_op_count(expr.otherwise))
+            + expr_op_count(expr.condition)
+            + max(expr_op_count(expr.then), expr_op_count(expr.otherwise))
         )
     return 1
 
@@ -50,7 +53,7 @@ def _expr_op_count(expr: Expr) -> int:
 def count_node_flops(sdfg: SDFG, node: ComputeNode) -> Expr:
     """Symbolic FLOP count of one compute node."""
     if isinstance(node, MapCompute):
-        per_element = _expr_op_count(node.expr) + (1 if node.output.accumulate else 0)
+        per_element = expr_op_count(node.expr) + (1 if node.output.accumulate else 0)
         domain: Expr = Const(1)
         for rng in node.ranges:
             domain = domain * rng.length_expr()

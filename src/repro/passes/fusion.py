@@ -20,10 +20,7 @@ A producer/consumer pair ``(P, C)`` over transient ``T`` is fused when
   see :func:`repro.passes.cse.is_identity_elementwise_write`), and ``P`` is
   the only writer of ``T`` anywhere in the SDFG;
 * every read of ``T`` anywhere in the SDFG is by the single compute node
-  ``C`` (a :class:`MapCompute`), and all those reads use the *same* per
-  element subset — reads at several distinct offsets (stencil neighbourhoods)
-  are left alone, because inlining would duplicate the producer's work once
-  per offset;
+  ``C`` (a :class:`MapCompute`), through per-element subsets;
 * ``C`` executes after ``P`` in the same control-flow region, with only
   plain states in between, and no node between them writes ``T`` or any
   container ``P`` reads (the producer's operands still hold the values they
@@ -31,28 +28,59 @@ A producer/consumer pair ``(P, C)`` over transient ``T`` is fused when
 * ``C`` does not write a container ``P`` reads — the fused body would
   otherwise interleave ``P``'s loads with ``C``'s stores.
 
+Reads at a *single* common subset always qualify (the ``"O2"`` tier).  Reads
+at **several distinct offsets** (stencil neighbourhoods, ``u[2:] - u[:-2]``)
+additionally require a cost model: inlining duplicates the producer's tree
+once per offset, which is only worth it when code generation can evaluate
+the duplicates once over their union window (offset-shifted hoisting,
+:mod:`repro.codegen.stencil`) or when the modelled recompute cost stays
+below the saved memory traffic.  Pass a
+:class:`~repro.passes.cost.CostModel` to enable this (the ``"O3"`` tier);
+without one the O2 behaviour — skip distinct offsets — is preserved.
+
+With ``gradient_aware=True`` (and a cost model) fusion also prices the
+backward pass: a transient whose value the AD rules would read (the
+consumer is *nonlinear* in it, e.g. ``maximum(pre, 0)`` needs ``pre`` to
+gate the gradient) must be recomputed element-wise inside every gradient
+map once it is fused away.  Such candidates are declined when the modelled
+backward recomputation outweighs the forward traffic saved — closing the
+"fused forward, slower gradient" regression recorded for O2.
+
 The rewrite composes index functions: producer parameter ``k`` is replaced
 by the consumer-side index expression of the read, so the producer's input
 memlets become consumer-space memlets and the fused node stays vectorisable
-(affine compositions of affine index maps).  Gradients are unaffected —
-fusion runs before AD and substitutes mathematically identical expressions.
+(affine compositions of affine index maps).  Fusion runs before AD and
+substitutes mathematically identical expressions, so gradients remain exact.
 
 Repeated subexpressions created by inlining (a connector used several times
 in the consumer expression) are handled downstream: connector-level CSE
 merges duplicate memlets here, and code generation hoists repeated
-subexpressions into temporaries (:mod:`repro.codegen.subexpr`).
+subexpressions into temporaries (:mod:`repro.codegen.subexpr`) and
+offset-shifted producer copies into union-window temporaries
+(:mod:`repro.codegen.stencil`).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.ir import MapCompute, Memlet, SDFG, State
 from repro.ir.control_flow import ControlFlowRegion
 from repro.ir.subsets import Index
 from repro.ir.usage import UseSite, UseSites, collect_uses
 from repro.passes.cse import dedupe_connectors, is_identity_elementwise_write
-from repro.symbolic import Expr, Sym, substitute
+from repro.symbolic import (
+    Const,
+    Expr,
+    Sym,
+    diff,
+    provable_constant,
+    substitute,
+)
+from repro.symbolic.affine import unit_shift
+from repro.symbolic.simplify import simplify
 
 
 def _fresh_connector(taken: set[str]) -> str:
@@ -80,24 +108,18 @@ def _consumer_read_indices(
     return tuple(dim.value for dim in dims)
 
 
-def _single_consumer(sites: UseSites) -> Optional[tuple]:
-    """If all reads are by one node through one common subset, return
-    ``(consumer_site, connectors)``; else ``None``."""
-    if not sites.reads:
+def _consumer_groups(sites: UseSites) -> Optional[tuple]:
+    """If all reads are by one node through connectored memlets, return
+    ``(consumer_site, groups)`` with the connectors grouped by read subset
+    (one group per distinct offset); else ``None``."""
+    if sites.sole_reader() is None:
         return None
-    nodes = {id(site.node) for site in sites.reads}
-    if len(nodes) != 1:
-        return None
-    site = sites.reads[0]
-    if site.conn is None:  # accumulate-read of the transient itself
-        return None
-    subsets = {read.memlet.subset for read in sites.reads}
-    if len(subsets) != 1:
-        return None
-    conns = [read.conn for read in sites.reads if read.conn is not None]
-    if len(conns) != len(sites.reads):
-        return None
-    return site, conns
+    if any(read.conn is None for read in sites.reads):
+        return None  # accumulate-read of the transient itself
+    groups: dict = {}
+    for read in sites.reads:
+        groups.setdefault(read.memlet.subset, []).append(read.conn)
+    return sites.reads[0], list(groups.items())
 
 
 def _clear_window(
@@ -126,11 +148,114 @@ def _clear_window(
     return True
 
 
+def _offset_info(
+    producer: MapCompute,
+    consumer: MapCompute,
+    group_indices: list[tuple[list[str], tuple[Expr, ...]]],
+) -> tuple[list[tuple[int, ...]], bool, Optional[list[Expr]]]:
+    """Classify a multi-offset read pattern.
+
+    Returns ``(offsets, hoistable, dim_lengths)``: one integer offset tuple
+    per group; whether code generation will evaluate the inlined producer
+    once over the union window (offset-shifted hoisting); and, for pure
+    shift patterns, the consumer-side iteration length per producer
+    dimension (for the cost model's window-overhang estimate).
+
+    ``hoistable`` mirrors the conditions of :mod:`repro.codegen.stencil`
+    *and* the vectorizer constraints its bindings must satisfy: pure
+    ``param + const`` reads with a distinct consumer parameter per dimension
+    in increasing parameter order, normalised ranges, non-negative offsets,
+    and a union window provably inside the producer's domain.  Non-shift
+    patterns yield zero offset tuples (their count still prices the
+    per-offset recompute) and ``hoistable=False``.
+    """
+    ndims = len(producer.params)
+    consumer_ranges = dict(zip(consumer.params, consumer.ranges))
+    offsets: list[tuple[int, ...]] = []
+    dim_params: list[Optional[str]] = [None] * ndims
+    pure_shift = True
+    for _, indices in group_indices:
+        shifts = []
+        for dim, expr in enumerate(indices):
+            # Shared classifier with codegen's stencil hoisting
+            # (repro/symbolic/affine.py), so pricing and emission agree on
+            # what counts as a pure shift.
+            shift = unit_shift(expr, consumer.params)
+            if shift is None or (dim_params[dim] not in (None, shift[0])):
+                pure_shift = False
+                break
+            param, constant = shift
+            dim_params[dim] = param
+            shifts.append(constant)
+        if not pure_shift:
+            break
+        offsets.append(tuple(shifts))
+    if not pure_shift:
+        return [(0,) * ndims for _ in group_indices], False, None
+
+    dim_lengths = [
+        consumer_ranges[dim_params[dim]].length_expr() for dim in range(ndims)
+    ]
+    hoistable = len(set(dim_params)) == ndims  # one distinct param per dim
+    if hoistable:
+        # The hoisted binding's slices need the parameters in increasing
+        # axis order (vectorizer constraint, repro/codegen/vectorize.py).
+        order = [consumer.params.index(p) for p in dim_params]
+        hoistable = order == sorted(order)
+    for dim in range(ndims):
+        if not hoistable:
+            break
+        rng = consumer_ranges[dim_params[dim]]
+        if simplify(rng.start) != Const(0) or simplify(rng.step) != Const(1):
+            hoistable = False
+            break
+        lo = min(group[dim] for group in offsets)
+        hi = max(group[dim] for group in offsets)
+        if lo < 0:
+            # A negative offset with a zero-based consumer range means the
+            # original program read T[-1] (NumPy wrap semantics the composed
+            # indices would not preserve); the frontend never lowers to this
+            # shape, so stay conservative rather than model it.
+            hoistable = False
+            break
+        slack = provable_constant(
+            simplify(producer.ranges[dim].stop - (rng.stop + Const(hi)))
+        )
+        if slack is None or slack < 0:
+            hoistable = False
+            break
+    return offsets, hoistable, dim_lengths
+
+
+def _backward_value_uses(sdfg: SDFG, consumer: MapCompute,
+                         transient_conns: Iterable[str]) -> int:
+    """Number of backward-pass maps that would read the transient's stored
+    value: one per float input connector whose partial derivative of the
+    consumer expression references the transient (nonlinear consumption)."""
+    conns = set(transient_conns)
+    uses = 0
+    for conn, memlet in consumer.inputs.items():
+        desc = sdfg.arrays.get(memlet.data)
+        if desc is None or not np.issubdtype(desc.dtype, np.floating):
+            continue
+        derivative = simplify(diff(consumer.expr, conn))
+        if derivative == Const(0):
+            continue
+        if conns & derivative.free_symbols():
+            uses += 1
+    return uses
+
+
 def _inline(sdfg: SDFG, producer: MapCompute, consumer: MapCompute,
             conns: list[str]) -> None:
     """Substitute the producer's expression into the consumer for every
     connector in ``conns`` (all reading the producer's output with the same
-    subset), merging the producer's re-indexed input memlets."""
+    subset), merging the producer's re-indexed input memlets.
+
+    Connector-level deduplication is the *caller's* job, after every offset
+    group has been inlined: deduping here would delete a later group's
+    duplicate connectors out from under it.
+    """
     read_memlet = consumer.inputs[conns[0]]
     indices = _consumer_read_indices(read_memlet, len(producer.params))
     param_map = dict(zip(producer.params, indices))
@@ -153,15 +278,23 @@ def _inline(sdfg: SDFG, producer: MapCompute, consumer: MapCompute,
     for conn in conns:
         del consumer.inputs[conn]
     consumer.expr = substitute(consumer.expr, rename)
-    dedupe_connectors(consumer)
 
 
-def fuse_elementwise_maps(sdfg: SDFG, protect: Iterable[str] = ()) -> int:
+def fuse_elementwise_maps(
+    sdfg: SDFG,
+    protect: Iterable[str] = (),
+    cost_model=None,
+    gradient_aware: bool = False,
+) -> int:
     """Fuse producer/consumer element-wise map pairs until a fixed point.
 
     ``protect`` names containers that must stay materialised (user-selected
-    gradient targets); the return container is always protected.  Returns the
-    number of producers inlined (equivalently, transient arrays eliminated).
+    gradient targets); the return container is always protected.
+    ``cost_model`` (a :class:`~repro.passes.cost.CostModel`) enables
+    multi-offset stencil fusion and prices every candidate; ``gradient_aware``
+    additionally charges backward-pass recomputation for values the AD rules
+    would read (see module docstring).  Returns the number of producers
+    inlined (equivalently, transient arrays eliminated).
     """
     protected = set(protect)
     return_name = getattr(sdfg, "return_name", None)
@@ -169,12 +302,13 @@ def fuse_elementwise_maps(sdfg: SDFG, protect: Iterable[str] = ()) -> int:
         protected.add(return_name)
 
     fused = 0
-    while _fuse_one(sdfg, protected):
+    while _fuse_one(sdfg, protected, cost_model, gradient_aware):
         fused += 1
     return fused
 
 
-def _fuse_one(sdfg: SDFG, protected: set[str]) -> bool:
+def _fuse_one(sdfg: SDFG, protected: set[str], cost_model,
+              gradient_aware: bool) -> bool:
     uses = collect_uses(sdfg)
     for name, desc in sdfg.arrays.items():
         if not desc.transient or name in protected:
@@ -186,19 +320,29 @@ def _fuse_one(sdfg: SDFG, protected: set[str]) -> bool:
         producer = producer_site.node
         if not is_identity_elementwise_write(producer, desc):
             continue
-        single = _single_consumer(sites)
-        if single is None:
+        grouped = _consumer_groups(sites)
+        if grouped is None:
             continue
-        consumer_site, conns = single
+        consumer_site, groups = grouped
         consumer = consumer_site.node
         if consumer is producer or not isinstance(consumer, MapCompute):
             continue
         if consumer_site.region is not producer_site.region:
             continue
-        indices = _consumer_read_indices(
-            consumer.inputs[conns[0]], len(producer.params)
-        )
-        if indices is None:
+        if len(groups) > 1 and cost_model is None:
+            # O2 behaviour: reads at several distinct offsets would duplicate
+            # the producer's work; only the cost-model tier may decide that.
+            continue
+        group_indices = []
+        for subset, conns in groups:
+            indices = _consumer_read_indices(
+                consumer.inputs[conns[0]], len(producer.params)
+            )
+            if indices is None:
+                group_indices = None
+                break
+            group_indices.append((conns, indices))
+        if group_indices is None:
             continue
         producer_reads = {m.data for m in producer.inputs.values()}
         if consumer.output.data == name or consumer.output.data in producer_reads:
@@ -210,7 +354,26 @@ def _fuse_one(sdfg: SDFG, protected: set[str]) -> bool:
             producer_reads | {name},
         ):
             continue
-        _inline(sdfg, producer, consumer, conns)
+        if cost_model is not None:
+            offsets, hoistable, dim_lengths = _offset_info(
+                producer, consumer, group_indices
+            )
+            backward_uses = 0
+            if gradient_aware:
+                backward_uses = _backward_value_uses(
+                    sdfg, consumer, [c for conns, _ in group_indices for c in conns]
+                )
+            decision = cost_model.price_fusion(
+                producer, consumer, name,
+                offsets=offsets, hoistable=hoistable,
+                backward_value_uses=backward_uses,
+                dim_lengths=dim_lengths,
+            )
+            if not decision.fuse:
+                continue
+        for conns, _ in group_indices:
+            _inline(sdfg, producer, consumer, conns)
+        dedupe_connectors(consumer)
         producer_site.state.nodes.remove(producer)
         del sdfg.arrays[name]
         return True

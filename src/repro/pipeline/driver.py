@@ -7,8 +7,11 @@ single entry point the rest of the package routes through:
   branch pruning followed by dead code elimination — before differentiation
   and code generation; ``"O0"`` compiles the program as written; ``"O2"``
   additionally deduplicates identical element-wise maps (CSE) and fuses
-  producer/consumer maps so intermediate transients are never materialised
-  (see docs/optimization-levels.md).
+  producer/consumer maps so intermediate transients are never materialised;
+  ``"O3"`` makes fusion cost-model-driven — stencil-offset reads fuse when
+  modelled recompute cost stays below saved traffic, and gradient compiles
+  decline fusions the backward pass would recompute (see
+  docs/optimization-levels.md and docs/cost-model.md).
 * When a gradient is requested (``gradient=True``, a ``wrt`` list, or a
   checkpointing spec), the pipeline appends checkpointing-strategy selection,
   the reverse-mode AD stage and the terminal codegen stage, and the call
@@ -45,11 +48,16 @@ from repro.pipeline.stages import (
     MapFusion,
 )
 
-#: Ordered simplification stages per optimization level.  ``O0`` compiles the
-#: program as written; ``O1`` is the paper's pre-AD cleanup; ``O2`` adds
-#: duplicate-work elimination (CSE) and producer/consumer map fusion.  All
-#: levels run before AD, so gradients are generated from the optimised
-#: forward SDFG.  See docs/optimization-levels.md.
+#: Ordered simplification stages per optimization level.  Each entry is a
+#: pass class or ``(class, extra_kwargs)``.  ``O0`` compiles the program as
+#: written; ``O1`` is the paper's pre-AD cleanup; ``O2`` adds duplicate-work
+#: elimination (CSE) and producer/consumer map fusion; ``O3`` runs the same
+#: stages but makes fusion *cost-model-driven* (stencil offsets fuse when
+#: the recompute-vs-traffic model pays, and gradient compiles decline
+#: fusions the backward pass would have to recompute — see
+#: repro/passes/cost.py and docs/cost-model.md).  All levels run before AD,
+#: so gradients are generated from the optimised forward SDFG.  See
+#: docs/optimization-levels.md.
 OPT_LEVELS: dict[str, tuple] = {
     "O0": (),
     "O1": (ConstantBranchPruning, DeadCodeElimination),
@@ -58,6 +66,12 @@ OPT_LEVELS: dict[str, tuple] = {
         DeadCodeElimination,
         CommonSubexpressionElimination,
         MapFusion,
+    ),
+    "O3": (
+        ConstantBranchPruning,
+        DeadCodeElimination,
+        CommonSubexpressionElimination,
+        (MapFusion, {"cost_driven": True}),
     ),
 }
 
@@ -107,10 +121,18 @@ def build_pipeline(
     keep: list[str] = []
     for value in (output, wrt, result_names):
         keep.extend([value] if isinstance(value, str) else list(value or ()))
-    passes: list = [
-        cls(extra_keep=tuple(keep)) if issubclass(cls, _KEEP_AWARE) else cls()
-        for cls in OPT_LEVELS[optimize]
-    ]
+    passes: list = []
+    for entry in OPT_LEVELS[optimize]:
+        cls, kwargs = entry if isinstance(entry, tuple) else (entry, {})
+        kwargs = dict(kwargs)
+        if kwargs.get("cost_driven"):
+            # Cost-driven fusion prices backward-pass recomputation only
+            # when this compilation will actually differentiate.
+            kwargs.setdefault("gradient_aware", gradient)
+        if issubclass(cls, _KEEP_AWARE):
+            kwargs.setdefault("extra_keep", tuple(keep))
+        passes.append(cls(**kwargs))
+
     passes.extend(extra_passes)
     if gradient:
         passes.append(CheckpointingSelection(checkpointing))

@@ -103,24 +103,61 @@ class MapFusion(Pass):
     Runs pre-AD: the backward pass is generated from the fused forward SDFG,
     so gradients see the same savings.  ``extra_keep`` protects containers a
     later stage differentiates or returns.
+
+    With ``cost_driven=True`` (the ``"O3"`` tier) every candidate is priced
+    by the static cost model (:mod:`repro.passes.cost`, knobs in
+    ``cost_config``): reads at several distinct stencil offsets may fuse
+    when the recompute-vs-traffic trade-off pays, and ``gradient_aware=True``
+    declines fusions that would force the backward pass to recompute stored
+    values.  Decision counts land in the pipeline report
+    (``fused_stencil``, ``declined_gradient``, ...).
     """
 
     name = "map-fusion"
 
-    def __init__(self, extra_keep: Sequence[str] = ()) -> None:
+    def __init__(
+        self,
+        extra_keep: Sequence[str] = (),
+        cost_driven: bool = False,
+        gradient_aware: bool = False,
+        cost_config=None,
+    ) -> None:
         self.extra_keep = tuple(extra_keep)
+        self.cost_driven = cost_driven
+        self.gradient_aware = gradient_aware
+        self.cost_config = cost_config
 
     def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.cost import CostModel, CostModelConfig, summarize_decisions
         from repro.passes.fusion import fuse_elementwise_maps
 
         protect = {name for name in self.extra_keep if name in sdfg.arrays}
-        fused = fuse_elementwise_maps(sdfg, protect=protect)
+        model = None
+        if self.cost_driven:
+            model = CostModel(
+                sdfg,
+                symbol_values=ctx.symbol_values,
+                config=self.cost_config or CostModelConfig(),
+            )
+        fused = fuse_elementwise_maps(
+            sdfg, protect=protect, cost_model=model,
+            gradient_aware=self.gradient_aware,
+        )
         ctx.note("maps_fused", fused)
         ctx.note("transients_eliminated", fused)
+        if model is not None:
+            for key, value in summarize_decisions(model.decisions).items():
+                ctx.note(key, value)
         return sdfg
 
     def fingerprint(self) -> tuple:
-        return (self.name, self.extra_keep)
+        fp: tuple = (self.name, self.extra_keep)
+        if self.cost_driven:
+            from repro.passes.cost import CostModelConfig
+
+            config = self.cost_config or CostModelConfig()
+            fp += ("cost-driven", self.gradient_aware, config.fingerprint())
+        return fp
 
 
 class Validate(Pass):

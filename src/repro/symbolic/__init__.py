@@ -33,7 +33,7 @@ from repro.symbolic.expr import (
 from repro.symbolic.parser import parse_expr, expr_from_ast
 from repro.symbolic.simplify import simplify
 from repro.symbolic.derivative import diff
-from repro.symbolic.affine import affine_coefficients, is_affine_in
+from repro.symbolic.affine import affine_coefficients, is_affine_in, provable_constant
 from repro.symbolic.evaluate import evaluate, substitute
 from repro.symbolic.codeemit import to_python
 
@@ -56,6 +56,7 @@ __all__ = [
     "diff",
     "affine_coefficients",
     "is_affine_in",
+    "provable_constant",
     "evaluate",
     "substitute",
     "to_python",

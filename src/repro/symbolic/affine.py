@@ -43,6 +43,57 @@ def is_affine_in(expr: Expr | int | float, variables: Iterable[str]) -> bool:
     return affine_coefficients(expr, variables) is not None
 
 
+def unit_shift(expr: Expr | int | float, variables: Iterable[str]):
+    """Decompose ``expr`` as ``var + c`` over exactly one of ``variables``.
+
+    Returns ``(var, c)`` with integer ``c`` when the expression is a
+    unit-coefficient shift of a single variable, or ``None`` otherwise
+    (several variables, non-unit coefficient, non-integer or symbolic
+    constant).  This is the *one* classifier for stencil-offset reads —
+    shared by the O3 fusion pass (pricing) and offset-shifted hoisting in
+    code generation (emission), so the two can never drift apart on what
+    counts as a pure shift.
+    """
+    variables = list(variables)
+    coeffs = affine_coefficients(expr, variables)
+    if coeffs is None:
+        return None
+    used = [v for v in variables if coeffs[v] != Const(0)]
+    if len(used) != 1 or coeffs[used[0]] != Const(1):
+        return None
+    constant = coeffs[""]
+    if not isinstance(constant, Const) or isinstance(constant.value, bool):
+        return None
+    if not float(constant.value).is_integer():
+        return None
+    return used[0], int(constant.value)
+
+
+def provable_constant(expr: Expr | int | float):
+    """The numeric value of ``expr`` if it is *provably* constant, else ``None``.
+
+    Simplification alone cannot cancel structurally-different spellings of
+    the same quantity (``(N - 2 + 1 - 1) // 1`` vs ``N - 2``); decomposing
+    into affine form over every free symbol and requiring all symbol
+    coefficients to fold to zero can.  Used by the O3 stencil machinery to
+    prove window bounds (``producer_stop - consumer_stop - max_offset >= 0``)
+    without concrete sizes.
+    """
+    if isinstance(expr, (int, float)):
+        return expr
+    symbols = sorted(expr.free_symbols())
+    coeffs = affine_coefficients(expr, symbols)
+    if coeffs is None:
+        return None
+    for name in symbols:
+        if not isinstance(coeffs[name], Const) or coeffs[name].value != 0:
+            return None
+    constant = coeffs[""]
+    if not isinstance(constant, Const) or isinstance(constant.value, bool):
+        return None
+    return constant.value
+
+
 def _scale(terms: dict[str, Expr], factor: Expr) -> dict[str, Expr]:
     return {key: BinOp("*", coeff, factor) for key, coeff in terms.items()}
 

@@ -113,9 +113,16 @@ def _emit(expr, rename: Mapping[str, str], vec: bool, parent_prec: int) -> str:
         raise ValueError(f"Unknown unary operator {expr.op!r}")
     if isinstance(expr, BinOp):
         prec = _PRECEDENCE[expr.op]
-        left = _emit(expr.left, rename, vec, prec)
-        # Right operand of -, /, // and % needs tighter binding to preserve order.
-        right_prec = prec + 1 if expr.op in ("-", "/", "//", "%", "**") else prec
+        # A same-precedence operand on the side the operator does NOT
+        # associate to must be parenthesised, or the emitted source
+        # re-associates: Python's binary operators are left-associative
+        # (``a * (b // c)`` is not ``a * b // c``) except ``**``, which is
+        # right-associative (``(x ** 3) ** 2`` is not ``x ** 3 ** 2``).
+        # Binding that side one level tighter keeps the emitted source's
+        # evaluation order identical to the expression tree's.
+        left_prec = prec + 1 if expr.op == "**" else prec
+        right_prec = prec if expr.op == "**" else prec + 1
+        left = _emit(expr.left, rename, vec, left_prec)
         right = _emit(expr.right, rename, vec, right_prec)
         return _paren(f"{left} {expr.op} {right}", prec, parent_prec)
     if isinstance(expr, Call):

@@ -152,6 +152,11 @@ def _simplify_binop(expr: BinOp) -> Expr:
             return Const(0)
         if _is_const(right, 1):
             return left
+    # NOTE: ``x // 1`` is deliberately NOT simplified to ``x`` — for float
+    # operands floor division by one means floor(x), and tasklet expressions
+    # flow through this simplifier too.  Integer-only index arithmetic avoids
+    # the spelling at the source instead (Range.length_expr keeps unit-step
+    # lengths division-free, and the frontend's slice shapes use it).
     elif op == "**":
         if _is_const(right, 1):
             return left

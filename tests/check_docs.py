@@ -1,4 +1,4 @@
-"""Documentation link checker: ``python -m tests.check_docs``.
+"""Documentation link and coverage checker: ``python -m tests.check_docs``.
 
 Verifies, for every Markdown file in ``docs/`` plus ``README.md`` and
 ``ROADMAP.md``:
@@ -10,8 +10,17 @@ Verifies, for every Markdown file in ``docs/`` plus ``README.md`` and
   package-relative paths are also tried under ``src/``) exists;
 * ``path.py::identifier`` test references point at existing files.
 
+Plus two coverage directions (so docs rot in *either* direction fails CI):
+
+* every ``benchmarks/bench_*.py`` script is documented in
+  ``docs/benchmarks.md`` (stale/renamed script names there already fail the
+  existence check above);
+* every public module under ``src/repro/passes/`` and
+  ``src/repro/pipeline/`` is mentioned in at least one ``docs/*.md`` file.
+
 Exits non-zero listing every broken reference, so CI fails when docs rot.
-Also importable as a pytest test (``test_docs_links_resolve``).
+Also importable as pytest tests (``test_docs_links_resolve``,
+``test_docs_cover_benchmarks_and_modules``).
 """
 
 from __future__ import annotations
@@ -27,6 +36,9 @@ DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [
     REPO_ROOT / "README.md",
     REPO_ROOT / "ROADMAP.md",
 ]
+
+#: Packages whose public modules must each be documented somewhere in docs/.
+DOCUMENTED_PACKAGES = ("src/repro/passes", "src/repro/pipeline")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_RE = re.compile(r"`([^`\n]+)`")
@@ -67,10 +79,47 @@ def check_file(path: Path) -> list[str]:
     return errors
 
 
+def check_benchmark_coverage() -> list[str]:
+    """Every benchmark script must be documented in docs/benchmarks.md."""
+    page = REPO_ROOT / "docs" / "benchmarks.md"
+    if not page.exists():
+        return ["docs/benchmarks.md is missing (benchmark index page)"]
+    text = page.read_text(encoding="utf-8")
+    errors = []
+    for script in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+        if script.name not in text:
+            errors.append(
+                f"docs/benchmarks.md: benchmarks/{script.name} is not documented"
+            )
+    return errors
+
+
+def check_module_coverage() -> list[str]:
+    """Every public module of the documented packages must appear in docs/."""
+    docs_text = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(Path(REPO_ROOT, "docs").glob("*.md"))
+    )
+    errors = []
+    for package in DOCUMENTED_PACKAGES:
+        for module in sorted((REPO_ROOT / package).glob("*.py")):
+            if module.name.startswith("_"):
+                continue  # __init__ and private helpers
+            relative = f"{package.removeprefix('src/')}/{module.name}"
+            if relative not in docs_text:
+                errors.append(
+                    f"docs/: public module {package}/{module.name} is mentioned "
+                    f"in no docs page (expected the string {relative!r})"
+                )
+    return errors
+
+
 def run() -> int:
     all_errors = []
     for path in DOC_FILES:
         all_errors.extend(check_file(path))
+    all_errors.extend(check_benchmark_coverage())
+    all_errors.extend(check_module_coverage())
     if all_errors:
         print(f"check_docs: {len(all_errors)} broken reference(s):", file=sys.stderr)
         for error in all_errors:
@@ -85,6 +134,13 @@ def test_docs_links_resolve():
     errors = []
     for path in DOC_FILES:
         errors.extend(check_file(path))
+    assert not errors, "\n".join(errors)
+
+
+def test_docs_cover_benchmarks_and_modules():
+    """Pytest entry point: every benchmark script and every public
+    passes/pipeline module must be documented."""
+    errors = check_benchmark_coverage() + check_module_coverage()
     assert not errors, "\n".join(errors)
 
 

@@ -292,3 +292,64 @@ class TestGeneratedCode:
 
         with pytest.raises(CodegenError):
             prog(rand(3, 4))
+
+
+class TestFloorDivisionSemantics:
+    """Regression (PR 3 review): ``x // 1.0`` in a tasklet is floor(x) for
+    float operands; the simplifier must never elide it."""
+
+    def test_float_floor_division_by_one_keeps_floor_semantics(self):
+        @repro.program
+        def prog(x: repro.float64[N], y: repro.float64[N]):
+            t = y * (x // 1.0)
+            return np.sum(t)
+
+        x = np.array([0.5, 1.5, 2.5, 3.5])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = float(np.sum(y * (x // 1.0)))
+        assert prog(x.copy(), y.copy()) == pytest.approx(expected, rel=1e-12)
+
+    def test_float_floor_division_gradient(self):
+        @repro.program
+        def prog(x: repro.float64[N], y: repro.float64[N]):
+            t = y * (x // 1.0)
+            return np.sum(t)
+
+        grad = repro.grad(prog, wrt="y")
+        x = np.array([0.5, 1.5, 2.5, 3.5])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(np.asarray(grad(x.copy(), y.copy())),
+                                   np.floor(x), rtol=1e-12)
+
+
+class TestOperatorAssociativityEmission:
+    """Regression (PR 3 review): emitted source must evaluate exactly like
+    the expression tree under Python's associativity rules."""
+
+    def test_fused_nested_powers_keep_left_association(self):
+        # (x ** 3) ** 2 fuses into one tree; emitting it without parentheses
+        # would re-associate to x ** (3 ** 2) = x ** 9.
+        @repro.program
+        def prog(x: repro.float64[N]):
+            u = x ** 3.0
+            v = u ** 2.0
+            return np.sum(v)
+
+        x = np.array([2.0, 3.0])
+        expected = float(np.sum((x ** 3.0) ** 2.0))
+        for level in ("O0", "O2", "O3"):
+            compiled = repro.pipeline.compile_forward(prog, level, cache=False).compiled
+            assert compiled(x.copy()) == pytest.approx(expected, rel=1e-12), level
+
+    def test_mixed_multiplicative_ops_keep_tree_order(self):
+        @repro.program
+        def prog(x: repro.float64[N], y: repro.float64[N]):
+            t = y * (x // 2.0)
+            return np.sum(t)
+
+        x = np.array([1.0, 3.0, 5.0])
+        y = np.array([2.0, 4.0, 8.0])
+        expected = float(np.sum(y * (x // 2.0)))
+        for level in ("O0", "O2", "O3"):
+            compiled = repro.pipeline.compile_forward(prog, level, cache=False).compiled
+            assert compiled(x.copy(), y.copy()) == pytest.approx(expected, rel=1e-12), level

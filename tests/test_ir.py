@@ -323,3 +323,87 @@ class TestContentHash:
         before = sdfg.content_hash()
         sdfg.return_name = "out"
         assert sdfg.content_hash() != before
+
+
+class TestRangeLength:
+    """Regression tests for ``Range.length_expr`` (PR 3): the original
+    upward-counting formula ``(stop - start + step - 1) // step`` overcounts
+    for negative steps (floor division rounds the wrong way); constant
+    negative steps now use the downward formula, and every constant case must
+    agree with ``len(range(...))`` via ``concrete_length``."""
+
+    @pytest.mark.parametrize("start,stop,step", [
+        (0, 10, 1), (0, 10, 2), (0, 10, 3), (1, 10, 4),
+        (10, 0, -1), (10, 0, -2), (10, 0, -3), (9, 2, -4),
+        (5, 5, 1), (5, 5, -1), (0, 1, 5), (7, 0, -10),
+    ])
+    def test_constant_lengths_match_python_range(self, start, stop, step):
+        rng = Range(Const(start), Const(stop), Const(step))
+        length = rng.length_expr()
+        assert isinstance(length, Const), (start, stop, step, length)
+        expected = len(range(start, stop, step))
+        assert length.value == expected
+        assert rng.concrete_length({}) == expected
+
+    def test_unit_steps_stay_division_free(self):
+        up = Range(Const(0), Sym("N"), Const(1))
+        assert up.length_expr() == Sym("N")
+        down = Range(Sym("N"), Const(0), Const(-1))
+        assert down.length_expr() == Sym("N")
+
+    def test_symbolic_bounds_negative_constant_step(self):
+        rng = Range(Sym("N"), Const(0), Const(-2))
+        length = rng.length_expr()
+        for n in (0, 1, 2, 7, 10, 11):
+            assert evaluate(length, {"N": n}) == len(range(n, 0, -2))
+
+    def test_symbolic_step_assumed_positive(self):
+        # A symbolic step keeps the upward ceiling division; evaluating it
+        # with positive step values must match Python ranges.
+        rng = Range(Const(0), Sym("N"), Sym("S"))
+        length = rng.length_expr()
+        for n in (0, 1, 9, 10):
+            for s in (1, 2, 3, 4):
+                assert evaluate(length, {"N": n, "S": s}) == len(range(0, n, s))
+
+    def test_floor_division_by_one_is_not_simplified(self):
+        # ``x // 1.0`` is floor(x) when x is a float value, and tasklet
+        # expressions run through the same simplifier as index arithmetic —
+        # eliding the division would change program values.
+        from repro.symbolic.simplify import simplify
+
+        expr = parse_expr("x // 1")
+        assert simplify(expr) == expr
+
+    def test_frontend_slice_shapes_are_division_free(self):
+        # The frontend computes slice lengths through Range.length_expr, so
+        # unit-step slice shapes carry no floor division.
+        import repro
+
+        N = repro.symbol("N")
+
+        @repro.program
+        def prog(A: repro.float64[N]):
+            u = A[1:-1] * 2.0
+            return np.sum(u)
+
+        sdfg = prog.to_sdfg()
+        shape_dim = sdfg.arrays["u"].shape[0]
+        assert "//" not in repr(shape_dim)
+
+    def test_negative_step_slices_rejected_by_frontend(self):
+        # Slice-default normalisation assumes forward traversal; a negative
+        # step used to produce a negative shape silently.  Now it is an
+        # explicit unsupported-feature error.
+        import repro
+        from repro.util.errors import UnsupportedFeatureError
+
+        N = repro.symbol("N")
+
+        @repro.program
+        def prog(A: repro.float64[N]):
+            u = A[::-1] * 2.0
+            return np.sum(u)
+
+        with pytest.raises(UnsupportedFeatureError, match="Negative-step"):
+            prog.to_sdfg()
