@@ -7,6 +7,8 @@ Public API re-exported here:
 * compilation: :func:`compile` (the pipeline driver) and the low-level
   :func:`compile_sdfg`
 * AD: :func:`grad`, :func:`value_and_grad`
+* batching: :func:`vmap` (SDFG-level leading-axis vectorisation) and the
+  micro-batching :class:`BatchQueue` serving runtime
 """
 
 from repro.frontend import (
@@ -34,8 +36,9 @@ from repro.pipeline import (
     PipelineReport,
     compile,
 )
+from repro.batching import BatchedProgram, BatchQueue, vmap
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Program",
@@ -58,5 +61,8 @@ __all__ = [
     "add_backward_pass",
     "grad",
     "value_and_grad",
+    "vmap",
+    "BatchedProgram",
+    "BatchQueue",
     "__version__",
 ]

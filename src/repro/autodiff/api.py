@@ -54,6 +54,19 @@ class GradientFunction:
         from repro.pipeline.driver import compile_gradient
 
         self.forward_sdfg = _to_sdfg(func_or_program)
+        #: The full compilation request, so transforms that recompile this
+        #: gradient under a modified pipeline — ``repro.vmap(grad(f))``
+        #: inserts its batching pass pre-AD — reproduce it exactly.
+        self.compile_spec = {
+            "wrt": wrt,
+            "strategy": strategy,
+            "return_value": return_value,
+            "output": output,
+            "optimize": optimize,
+            "symbol_values": symbol_values,
+            "cache": cache,
+            "extra_passes": tuple(extra_passes),
+        }
         outcome = compile_gradient(
             self.forward_sdfg,
             wrt=wrt,

@@ -235,7 +235,11 @@ class BackwardRuleEmitter:
         a_float = _is_float(self.sdfg, a_memlet.data)
         b_float = _is_float(self.sdfg, b_memlet.data)
 
-        if a_rank == 2 and b_rank == 2:
+        if a_rank == b_rank and a_rank in (2, 3):
+            # Plain 2-D matmul, or a batched (3-D) stack where *both*
+            # operands carry the leading vmap batch dimension: np.matmul
+            # broadcasts the batch axis, and the transposed-operand code
+            # generation swaps only the trailing matrix axes.
             if a_float:
                 state.add(LibraryCall(
                     "matmul", {"_a": gout, "_b": b_val}, self._grad_memlet(a_memlet),
@@ -244,6 +248,16 @@ class BackwardRuleEmitter:
                 state.add(LibraryCall(
                     "matmul", {"_a": a_val, "_b": gout}, self._grad_memlet(b_memlet),
                     attrs={"transpose_a": True}, label=f"bwd_{node.label}_b"))
+        elif 3 in (a_rank, b_rank):
+            # Batched operand against shared 2-D weights: the weights'
+            # gradient needs a cross-batch contraction no library node
+            # expresses yet (see docs/batching.md, "Known limitations").
+            raise AutodiffError(
+                f"Cannot differentiate a batched matmul with operand ranks "
+                f"({a_rank}, {b_rank}): the shared operand's gradient sums "
+                "over the batch.  Batch both operands (in_axes=0) or keep "
+                "the matmul outside the vmapped region."
+            )
         elif a_rank == 2 and b_rank == 1:
             if a_float:
                 state.add(LibraryCall(
@@ -333,9 +347,11 @@ class BackwardRuleEmitter:
             if out_subset is None or len(out_subset) == 0:
                 return Subset(())
             return Subset(out_subset.dims)
+        # Batched reductions (repro.vmap) carry a tuple of reduced axes.
+        axes = set(axis) if isinstance(axis, (tuple, list)) else {axis}
         dims = []
         for position, dim in enumerate(input_params_element):
-            if position == axis:
+            if position in axes:
                 if keepdims:
                     dims.append(Index(Const(0)))
                 continue
@@ -405,9 +421,12 @@ class BackwardRuleEmitter:
         source = node.inputs["_in"]
         if not _is_float(self.sdfg, source.data):
             return
+        # An explicit axes permutation (batched transposes, repro.vmap) is
+        # its own inverse for the (0, 2, 1) trailing-axes swap; propagate it.
+        attrs = {"axes": node.attrs["axes"]} if "axes" in node.attrs else None
         state.add(LibraryCall(
             "transpose", {"_in": self._gout_memlet(node)}, self._grad_memlet(source),
-            label=f"bwd_{node.label}"))
+            attrs=attrs, label=f"bwd_{node.label}"))
 
     def _emit_copy(self, node: LibraryCall, state: State) -> None:
         source = node.inputs["_in"]

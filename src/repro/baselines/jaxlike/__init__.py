@@ -35,6 +35,7 @@ from repro.baselines.jaxlike import numpy_api as numpy
 from repro.baselines.jaxlike.engine import DeviceArray, asarray
 from repro.baselines.jaxlike.ad import grad, value_and_grad
 from repro.baselines.jaxlike.jit import jit
+from repro.baselines.jaxlike.vmap import vmap
 
 __all__ = [
     "DeviceArray",
@@ -44,4 +45,5 @@ __all__ = [
     "grad",
     "value_and_grad",
     "jit",
+    "vmap",
 ]

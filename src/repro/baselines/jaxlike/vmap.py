@@ -1,0 +1,85 @@
+"""Loop-based ``vmap`` for the jaxlike baseline.
+
+JAX's ``vmap`` is a tracing transform; the jaxlike baseline is eager, so its
+``vmap`` is the *reference semantics* spelled out directly: slice every
+batched argument along its ``in_axes`` axis, run the wrapped function once
+per sample, and stack the per-sample results along a new leading axis.  This
+is exactly the per-sample loop ``repro.vmap`` (the SDFG-level transform) is
+measured against in ``benchmarks/bench_batching.py`` and cross-checked
+against in the batched-gradient tests.
+
+Composes with the baseline's eager AD::
+
+    from repro.baselines import jaxlike as jax
+
+    per_sample_grads = jax.vmap(jax.grad(loss))(stacked_x)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.baselines.jaxlike.engine import DeviceArray, asarray
+
+InAxes = Union[int, None, Sequence[Optional[int]]]
+
+
+def _unwrap(value):
+    return value.value if isinstance(value, DeviceArray) else value
+
+
+def vmap(fun: Callable, in_axes: InAxes = 0) -> Callable:
+    """Vectorise ``fun`` over a batch axis by an explicit per-sample loop.
+
+    ``in_axes`` is an int applied to every positional argument, or a
+    sequence with one entry per positional argument (``None`` = broadcast
+    that argument unchanged to every sample).  Keyword arguments always
+    broadcast.  The wrapped function may return an array, a scalar, or a
+    (nested) tuple/list/dict of them; results are stacked per leaf.
+    """
+
+    def wrapped(*args, **kwargs):
+        axes = in_axes if isinstance(in_axes, (list, tuple)) else [in_axes] * len(args)
+        if len(axes) != len(args):
+            raise ValueError(
+                f"vmap in_axes has {len(axes)} entries for {len(args)} arguments"
+            )
+        batch_size = None
+        for arg, axis in zip(args, axes):
+            if axis is None:
+                continue
+            size = np.asarray(_unwrap(arg)).shape[axis]
+            if batch_size is None:
+                batch_size = size
+            elif size != batch_size:
+                raise ValueError(
+                    f"Inconsistent batch sizes along in_axes: {size} vs {batch_size}"
+                )
+        if batch_size is None:
+            raise ValueError("vmap needs at least one non-None in_axes entry")
+
+        results = []
+        for sample in range(batch_size):
+            sliced = [
+                arg if axis is None
+                else asarray(np.take(np.asarray(_unwrap(arg)), sample, axis=axis))
+                for arg, axis in zip(args, axes)
+            ]
+            results.append(fun(*sliced, **kwargs))
+        return _stack(results)
+
+    return wrapped
+
+
+def _stack(results: list):
+    """Stack per-sample results along a new leading axis, per structure leaf."""
+    first = results[0]
+    if isinstance(first, dict):
+        return {key: _stack([r[key] for r in results]) for key in first}
+    if isinstance(first, (tuple, list)):
+        return type(first)(
+            _stack([r[position] for r in results]) for position in range(len(first))
+        )
+    return np.stack([np.asarray(_unwrap(r)) for r in results], axis=0)

@@ -25,7 +25,27 @@ class CompiledSDFG:
         self.sdfg = sdfg
         self.source = source
         self.func = func
+        self.func_name = func.__name__
         self.result_names = result_names
+
+    # -- pickling ---------------------------------------------------------
+    # The executable function is an exec() product and cannot be pickled;
+    # the *generated source* can.  Pickling drops the function and
+    # unpickling re-executes the source in a fresh runtime namespace —
+    # this "generated-source pickling" is what lets the compilation cache
+    # spill finished compilations to disk (CompilationCache(persist_dir=...))
+    # and warm *process starts* skip every pipeline stage.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["func"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        namespace = build_runtime_namespace()
+        code = compile(self.source, filename=f"<repro:{self.sdfg.name}>", mode="exec")
+        exec(code, namespace)
+        self.func = namespace[self.func_name]
 
     def call_with_bindings(self, bindings: dict) -> dict:
         """Execute with an explicit name->value mapping (no inference)."""

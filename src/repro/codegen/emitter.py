@@ -247,13 +247,27 @@ class SourceEmitter:
         op = "+=" if node.output.accumulate else "="
         return self._memlet_write_target(node.output), op
 
+    def _memlet_rank(self, memlet: Memlet) -> int:
+        """Rank of the data moved by a memlet (Index dims drop out)."""
+        if memlet.subset is None:
+            return self.sdfg.arrays[memlet.data].ndim
+        return len(memlet.subset.shape_exprs())
+
+    def _transposed(self, source: str, memlet: Memlet) -> str:
+        """Transpose the trailing matrix axes of an operand.  Batched (>2-D)
+        operands swap only the last two axes, so the leading batch dimension
+        introduced by ``repro.vmap`` stays in place."""
+        if self._memlet_rank(memlet) > 2:
+            return f"np.swapaxes({source}, -2, -1)"
+        return f"{source}.T" if "[" not in source else f"({source}).T"
+
     def _emit_lib_matmul(self, node: LibraryCall) -> None:
         a = self._memlet_read(node.inputs["_a"])
         b = self._memlet_read(node.inputs["_b"])
         if node.attrs.get("transpose_a"):
-            a = f"{a}.T" if "[" not in a else f"({a}).T"
+            a = self._transposed(a, node.inputs["_a"])
         if node.attrs.get("transpose_b"):
-            b = f"{b}.T" if "[" not in b else f"({b}).T"
+            b = self._transposed(b, node.inputs["_b"])
         out_desc = self.sdfg.arrays[node.output.data]
         full = node.output.subset is None or node.output.subset.is_full(out_desc.shape)
         if (not node.output.accumulate) and full and out_desc.ndim >= 1:
@@ -292,7 +306,13 @@ class SourceEmitter:
     def _emit_lib_transpose(self, node: LibraryCall) -> None:
         source = self._memlet_read(node.inputs["_in"])
         target, op = self._out_target(node)
-        self.emit(f"{target} {op} np.transpose({source})")
+        axes = node.attrs.get("axes")
+        if axes is not None:
+            # Batched transposes permute explicitly (a bare np.transpose
+            # would reverse the leading batch axis into the data).
+            self.emit(f"{target} {op} np.transpose({source}, {tuple(axes)})")
+        else:
+            self.emit(f"{target} {op} np.transpose({source})")
 
     def _emit_lib_copy(self, node: LibraryCall) -> None:
         source = self._memlet_read(node.inputs["_in"])

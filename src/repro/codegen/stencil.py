@@ -21,10 +21,11 @@ Two subtrees are shift-equivalent when they are structurally identical after
 resolving input connectors to ``(array, index)`` accesses and normalising
 every index of the form ``param + constant`` by the subtree's minimal
 constant per parameter.  A family is only hoisted when the union window's
-reads are *provably in bounds*
-(:func:`repro.symbolic.affine.provable_constant` on ``shape - window_end``);
-an unprovable family is simply left inline — semantics never depend on
-hoisting, only the amount of recomputation does.
+reads are *provably in bounds* — the shared hoistability predicate
+:func:`repro.symbolic.affine.window_fits`, the same proof the O3 fusion
+pass runs when pricing a candidate as hoistable; an unprovable family is
+simply left inline — semantics never depend on hoisting, only the amount
+of recomputation does.
 
 Families nest (a fused chain of stencil stages produces shifted trees inside
 shifted trees); the detector recurses into each hoisted binding, so a chain
@@ -48,10 +49,9 @@ from repro.symbolic import (
     Expr,
     Sym,
     affine_coefficients,
-    provable_constant,
     substitute,
 )
-from repro.symbolic.affine import unit_shift
+from repro.symbolic.affine import unit_shift, window_fits
 from repro.symbolic.simplify import simplify
 
 #: Prefix of hoisted union-window temporaries in generated source.
@@ -315,10 +315,7 @@ def _apply_family(params: tuple[str, ...], ranges: tuple[Range, ...],
                 if new_const < 0 or shape is None or axis >= len(shape):
                     ok = False
                     break
-                slack = provable_constant(
-                    simplify(shape[axis] - (window_stops[param] + Const(new_const)))
-                )
-                if slack is None or slack < 0:
+                if not window_fits(shape[axis], window_stops[param], new_const):
                     ok = False
                     break
                 index_exprs.append(simplify(Const(new_const) + Sym(param)))

@@ -92,6 +92,21 @@ class Program:
             self._compiled_optimize = optimize
         return self._compiled
 
+    # -- batching --------------------------------------------------------------
+    def vmap(self, in_axes=0, batch_symbol=None):
+        """Batched version of this program (leading-axis vectorisation).
+
+        Equivalent to ``repro.vmap(self, in_axes=...)``: returns a
+        :class:`~repro.batching.BatchedProgram` whose compiled kernel
+        processes a whole stack of samples per call, the batch size inferred
+        from the arguments' leading dimension.  ``in_axes`` selects which
+        arguments are batched (``0`` = all; a ``{name: 0 | None}`` mapping
+        or a per-argument sequence broadcasts the ``None`` entries).
+        """
+        from repro.batching import vmap as _vmap
+
+        return _vmap(self, in_axes=in_axes, batch_symbol=batch_symbol)
+
     # -- execution -------------------------------------------------------------
     def __call__(self, *args, **kwargs):
         # Reuse whatever level was last compiled (an explicit compile(optimize=

@@ -104,6 +104,16 @@ class ArrayDesc:
             total = total * dim
         return total
 
+    # -- transformations -------------------------------------------------
+    def with_leading_dim(self, dim: "ShapeEntry") -> "ArrayDesc":
+        """Copy of this descriptor with ``dim`` prepended to the shape.
+
+        The rank-extension primitive of the batching transform
+        (:mod:`repro.batching`): a batched container keeps its name, dtype
+        and transient-ness but gains a leading (symbolic) batch dimension.
+        """
+        return self.copy(shape=(dim,) + tuple(self.shape))
+
     # -- helpers ---------------------------------------------------------
     def copy(self, **overrides) -> "ArrayDesc":
         data = {

@@ -51,6 +51,28 @@ class Memlet:
             return True
         return self.subset.is_full(shape)
 
+    def with_leading(self, dim, full_shape=None) -> "Memlet":
+        """New memlet with ``dim`` prepended to the subset (rank extension).
+
+        ``dim`` is an :class:`~repro.ir.subsets.Index` or
+        :class:`~repro.ir.subsets.Range`.  A ``None`` subset addresses the
+        whole container; prepending to it requires the container's *original*
+        shape (``full_shape``) so the remaining dimensions can be spelled out
+        as explicit full ranges.  Used by the batching transform
+        (:mod:`repro.batching`) when the underlying container gains a leading
+        batch dimension.
+        """
+        if self.subset is not None:
+            return Memlet(self.data, self.subset.with_leading(dim), self.accumulate)
+        if full_shape is None:
+            raise ValueError(
+                f"Cannot rank-extend the whole-container memlet of {self.data!r} "
+                "without its original shape"
+            )
+        return Memlet(
+            self.data, Subset.full(full_shape).with_leading(dim), self.accumulate
+        )
+
     def copy(self) -> "Memlet":
         return Memlet(self.data, self.subset, self.accumulate)
 

@@ -180,6 +180,14 @@ class Subset:
     def substituted(self, mapping: Mapping[str, object]) -> "Subset":
         return Subset(dim.substituted(mapping) for dim in self.dims)
 
+    def with_leading(self, dim: Dimension) -> "Subset":
+        """New subset with ``dim`` (an :class:`Index` or :class:`Range`)
+        prepended — the rank-extension primitive used when a container gains
+        a leading batch dimension (:mod:`repro.batching`)."""
+        if not isinstance(dim, (Index, Range)):
+            raise TypeError(f"Leading dimension must be Index or Range, got {dim!r}")
+        return Subset((dim,) + self.dims)
+
     # -- misc ------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Subset):

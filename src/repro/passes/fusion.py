@@ -76,10 +76,9 @@ from repro.symbolic import (
     Expr,
     Sym,
     diff,
-    provable_constant,
     substitute,
 )
-from repro.symbolic.affine import unit_shift
+from repro.symbolic.affine import unit_shift, window_fits
 from repro.symbolic.simplify import simplify
 
 
@@ -218,10 +217,10 @@ def _offset_info(
             # shape, so stay conservative rather than model it.
             hoistable = False
             break
-        slack = provable_constant(
-            simplify(producer.ranges[dim].stop - (rng.stop + Const(hi)))
-        )
-        if slack is None or slack < 0:
+        # Shared bounds proof with codegen's union-window hoisting
+        # (repro/symbolic/affine.py), so a candidate priced hoistable is
+        # exactly one codegen will hoist.
+        if not window_fits(producer.ranges[dim].stop, rng.stop, hi):
             hoistable = False
             break
     return offsets, hoistable, dim_lengths

@@ -96,32 +96,51 @@ class CacheEntry:
 
 @dataclass
 class CacheStats:
-    """Lookup counters of one :class:`CompilationCache` (reset by ``clear``)."""
+    """Lookup counters of one :class:`CompilationCache` (reset by ``clear``).
+
+    ``hits`` counts in-memory hits only; lookups served by loading a spilled
+    entry from ``persist_dir`` count as ``disk_hits`` instead (both are
+    "served from cache" for :attr:`hit_rate`).
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total lookups (hits + misses)."""
-        return self.hits + self.misses
+        """Total lookups (memory hits + disk hits + misses)."""
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
 
 
 class CompilationCache:
-    """LRU cache of compiled SDFGs.
+    """LRU cache of compiled SDFGs, with opt-in disk persistence.
 
     The default process-wide instance lives at
     :data:`repro.pipeline.DEFAULT_CACHE`; pass ``cache=False`` to the driver
     APIs to bypass caching for one call, or a private instance to isolate it.
+
+    With ``persist_dir`` set, every stored entry is additionally *spilled*
+    to ``<persist_dir>/<sha256(key)>.pkl`` via generated-source pickling
+    (the :class:`~repro.codegen.CompiledSDFG` pickles its emitted source and
+    re-``exec``-utes it on load), and an in-memory miss falls back to
+    loading the spilled entry — so a warm *process start* skips parsing,
+    simplification, AD and code emission, not just a warm call.  Disk loads
+    count as ``stats.disk_hits``.  Entries whose artifacts cannot be
+    pickled (foreign strategy objects, open handles) are simply not
+    spilled; correctness never depends on persistence.  Only point
+    ``persist_dir`` at a directory you trust — loading an entry executes
+    its pickled source.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 128, persist_dir: Optional[str] = None) -> None:
         self.maxsize = maxsize
+        self.persist_dir = persist_dir
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
 
@@ -133,25 +152,82 @@ class CompilationCache:
         ``None`` on a miss.  Updates :attr:`stats` either way."""
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
-            return None
+            entry = self._load_spilled(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._insert(entry)
+            return entry
         self._entries.move_to_end(key)
         self.stats.hits += 1
         return entry
 
     def store(self, entry: CacheEntry) -> CacheEntry:
         """Insert ``entry`` under its key, evicting least-recently-used
-        entries beyond ``maxsize``."""
+        entries beyond ``maxsize``; spill it to ``persist_dir`` if set."""
+        self._insert(entry)
+        self._spill(entry)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset the statistics (spilled
+        entries on disk are kept; delete the directory to drop those)."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    # -- persistence ------------------------------------------------------
+    def _insert(self, entry: CacheEntry) -> None:
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-        return entry
 
-    def clear(self) -> None:
-        """Drop every entry and reset the statistics."""
-        self._entries.clear()
-        self.stats = CacheStats()
+    def _spill_path(self, key: tuple) -> str:
+        import hashlib
+        import os
+
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.persist_dir, f"{digest}.pkl")
+
+    def _spill(self, entry: CacheEntry) -> bool:
+        """Best-effort write of one entry to disk (atomic rename)."""
+        if self.persist_dir is None:
+            return False
+        import os
+        import pickle
+
+        try:
+            payload = pickle.dumps(entry)
+            os.makedirs(self.persist_dir, exist_ok=True)
+            path = self._spill_path(entry.key)
+            temp = f"{path}.tmp.{os.getpid()}"
+            with open(temp, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp, path)
+        except Exception:  # noqa: BLE001 - unpicklable artifact or filesystem
+            # trouble (read-only dir, full disk): persistence is best-effort,
+            # the in-memory entry is already stored, never fail the compile.
+            return False
+        return True
+
+    def _load_spilled(self, key: tuple) -> Optional[CacheEntry]:
+        if self.persist_dir is None:
+            return None
+        import os
+        import pickle
+
+        path = self._spill_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - stale/corrupt spill: treat as miss
+            return None
+        if entry.key != key:  # hash collision or foreign file
+            return None
+        return entry
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.symbolic.expr import BinOp, Call, Compare, Const, Expr, Sym, UnOp
+from repro.symbolic.expr import BinOp, Call, Compare, Const, Expr, Sym, UnOp, as_expr
 
 
 def affine_coefficients(
@@ -92,6 +92,29 @@ def provable_constant(expr: Expr | int | float):
     if not isinstance(constant, Const) or isinstance(constant.value, bool):
         return None
     return constant.value
+
+
+def window_fits(limit, stop, offset: int = 0) -> bool:
+    """Prove ``stop + offset <= limit`` for symbolic bounds — the *one*
+    hoistability bounds proof of the stencil machinery.
+
+    ``limit`` is the domain being read (a producer's range stop or an array
+    dimension), ``stop`` the consumer/union-window stop and ``offset`` the
+    constant stencil shift.  Both the O3 fusion pass (pricing a candidate as
+    hoistable, :func:`repro.passes.fusion._offset_info`) and offset-shifted
+    hoisting in code generation (:mod:`repro.codegen.stencil`) decide bounds
+    through this predicate, so what fusion prices as a single union-window
+    evaluation is exactly what codegen emits — the two can no longer run
+    drifting proofs.  Returns ``False`` whenever the slack is not provably
+    non-negative (:func:`provable_constant`); callers must then stay
+    conservative (don't fuse / don't hoist).
+    """
+    from repro.symbolic.simplify import simplify
+
+    slack = provable_constant(
+        simplify(as_expr(limit) - (as_expr(stop) + Const(offset)))
+    )
+    return slack is not None and slack >= 0
 
 
 def _scale(terms: dict[str, Expr], factor: Expr) -> dict[str, Expr]:

@@ -64,6 +64,17 @@ class Expr:
     def __deepcopy__(self, memo) -> "Expr":
         return self
 
+    # Pickle via the constructor for the same reason: the default slot-state
+    # protocol restores fields with setattr, which frozen dataclasses reject.
+    # (The compilation cache's disk persistence pickles SDFGs.)
+    def __reduce__(self):
+        import dataclasses
+
+        return (
+            type(self),
+            tuple(getattr(self, f.name) for f in dataclasses.fields(self)),
+        )
+
     # -- construction helpers -------------------------------------------------
     def _binop(self, op: str, other: object, reflected: bool = False) -> "BinOp":
         other_expr = as_expr(other)

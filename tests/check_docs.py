@@ -38,7 +38,7 @@ DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [
 ]
 
 #: Packages whose public modules must each be documented somewhere in docs/.
-DOCUMENTED_PACKAGES = ("src/repro/passes", "src/repro/pipeline")
+DOCUMENTED_PACKAGES = ("src/repro/passes", "src/repro/pipeline", "src/repro/batching")
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_RE = re.compile(r"`([^`\n]+)`")

@@ -164,3 +164,60 @@ class TestAgreementWithDaceAD:
         dace_result = repro.grad(dace_version, wrt="A")(A.copy(), B.copy())
         jax_result = jaxlike.grad(jax_version)(A, B)
         np.testing.assert_allclose(dace_result, jax_result, rtol=1e-8)
+
+
+class TestVmap:
+    """Loop-based vmap reference (the semantics repro.vmap is checked against)."""
+
+    def test_forward_matches_explicit_loop(self):
+        def f(x):
+            return jnp.sum(jnp.sin(x) * x)
+
+        x = rand(4, 6)
+        batched = jaxlike.vmap(f)(x)
+        want = np.array([float(f(x[b]).value) for b in range(4)])
+        np.testing.assert_allclose(batched, want, rtol=1e-12)
+
+    def test_in_axes_none_broadcasts(self):
+        def f(x, w):
+            return jnp.sum(x * jaxlike.asarray(w))
+
+        x, w = rand(3, 5), rand(5, seed=2)
+        batched = jaxlike.vmap(f, in_axes=(0, None))(x, w)
+        want = np.array([float(np.sum(x[b] * w)) for b in range(3)])
+        np.testing.assert_allclose(batched, want, rtol=1e-12)
+
+    def test_vmap_of_grad_stacks_per_sample_gradients(self):
+        def loss(x):
+            return jnp.sum(jnp.maximum(x, 0.0) * x)
+
+        x = rand(3, 4) - 0.5
+        batched = jaxlike.vmap(jaxlike.grad(loss))(x)
+        want = np.stack([jaxlike.grad(loss)(x[b]) for b in range(3)])
+        np.testing.assert_allclose(batched, want, rtol=1e-12)
+
+    def test_inconsistent_batch_sizes_rejected(self):
+        def f(x, y):
+            return jnp.sum(x + y)
+
+        with pytest.raises(ValueError, match="Inconsistent batch"):
+            jaxlike.vmap(f)(rand(3, 2), rand(4, 2))
+
+    def test_agrees_with_repro_vmap_gradients(self):
+        N = repro.symbol("N")
+
+        @repro.program
+        def chain(A: repro.float64[N]):
+            u = A[:-1] + A[1:]
+            v = u * u
+            return np.sum(v)
+
+        def jax_chain(A):
+            u = A[:-1] + A[1:]
+            v = u * u
+            return jnp.sum(v)
+
+        A = rand(3, 10)
+        reference = jaxlike.vmap(jaxlike.grad(jax_chain))(A)
+        batched = repro.vmap(repro.grad(chain, wrt="A"))(A=A)
+        np.testing.assert_allclose(batched, reference, rtol=1e-9)

@@ -493,3 +493,73 @@ class TestCustomPasses:
         manager = build_pipeline("O0", extra_passes=[noop])
         outcome = run_pipeline(make_program().to_sdfg(), manager, cache=False)
         assert outcome.report.record_for("noop").info["seen"] is True
+
+
+class TestCachePersistence:
+    """Opt-in disk persistence: ``CompilationCache(persist_dir=...)``."""
+
+    def test_fresh_cache_instance_loads_spilled_entries(self, tmp_path):
+        program = make_program()
+        cold = CompilationCache(persist_dir=str(tmp_path))
+        first = compile_forward(program, "O1", cache=cold)
+        assert not first.cache_hit
+        assert list(tmp_path.glob("*.pkl"))
+
+        # A brand-new cache (a fresh process start, in miniature) finds the
+        # spilled entry on its first lookup: no pipeline stage re-runs.
+        warm = CompilationCache(persist_dir=str(tmp_path))
+        second = compile_forward(program, "O1", cache=warm)
+        assert second.cache_hit
+        assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+        assert warm.stats.hit_rate == 1.0
+        x = np.arange(5.0)
+        np.testing.assert_allclose(second.compiled(A=x.copy()), first.compiled(A=x.copy()))
+
+    def test_gradient_compiles_roundtrip_through_disk(self, tmp_path):
+        program = make_program()
+        cold = CompilationCache(persist_dir=str(tmp_path))
+        first = compile_gradient(program, wrt="A", cache=cold)
+        warm = CompilationCache(persist_dir=str(tmp_path))
+        second = compile_gradient(program, wrt="A", cache=warm)
+        assert second.cache_hit and warm.stats.disk_hits == 1
+        assert "backward" in second.artifacts
+        x = np.arange(4.0) + 1.0
+        np.testing.assert_allclose(
+            np.asarray(second.compiled(A=x.copy())),
+            np.asarray(first.compiled(A=x.copy())),
+        )
+
+    def test_compiled_sdfg_pickles_via_generated_source(self):
+        import pickle
+
+        compiled = compile_forward(make_program(), "O1", cache=False).compiled
+        restored = pickle.loads(pickle.dumps(compiled))
+        assert restored.source == compiled.source
+        x = np.arange(6.0)
+        np.testing.assert_allclose(restored(A=x.copy()), compiled(A=x.copy()))
+
+    def test_without_persist_dir_nothing_is_written(self, tmp_path):
+        cache = CompilationCache()
+        compile_forward(make_program(), "O1", cache=cache)
+        assert not list(tmp_path.iterdir())
+
+    def test_unpicklable_artifacts_skip_spilling_silently(self, tmp_path):
+        cache = CompilationCache(persist_dir=str(tmp_path))
+        outcome = compile_forward(make_program(), "O1", cache=cache)
+        entry = cache.lookup(outcome.key)
+        entry.artifacts["handle"] = open(__file__)  # noqa: SIM115 - deliberately unpicklable
+        try:
+            assert not cache._spill(entry)
+        finally:
+            entry.artifacts["handle"].close()
+
+    def test_corrupt_spill_file_is_treated_as_miss(self, tmp_path):
+        program = make_program()
+        cache = CompilationCache(persist_dir=str(tmp_path))
+        compile_forward(program, "O1", cache=cache)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = CompilationCache(persist_dir=str(tmp_path))
+        outcome = compile_forward(program, "O1", cache=fresh)
+        assert not outcome.cache_hit
+        assert fresh.stats.misses == 1 and fresh.stats.disk_hits == 0
