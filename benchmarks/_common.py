@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 
 import numpy as np
 
@@ -83,13 +85,35 @@ def write_json(name: str, payload: dict) -> str:
     return path
 
 
+def environment_metadata() -> dict:
+    """Machine/toolchain context of a benchmark run: Python/NumPy/platform
+    versions plus the registered code-generation backends and — when a C
+    toolchain is present — its identity, so result JSONs from different
+    machines or backend configurations are comparable at a glance."""
+    from repro.codegen import available_backends, registered_backends
+    from repro.codegen.cython_backend import find_c_compiler, toolchain_description
+
+    compiler = find_c_compiler()
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "backends_registered": registered_backends(),
+        "backends_available": available_backends(),
+        "c_compiler": compiler,
+        "c_toolchain": toolchain_description(),
+    }
+
+
 def write_results(benchmark: str, payload: dict) -> str:
     """The one result-writing helper every ``bench_*`` script should use.
 
-    Stamps the payload with the benchmark name and writes it to
-    ``benchmarks/results/<benchmark>.json`` via :func:`write_json`, so all
-    benchmark output lands in one place with one envelope shape.
+    Stamps the payload with the benchmark name and the environment metadata
+    (interpreter, platform, registered/available codegen backends, C
+    toolchain) and writes it to ``benchmarks/results/<benchmark>.json`` via
+    :func:`write_json`, so all benchmark output lands in one place with one
+    envelope shape.
     """
-    body = {"benchmark": benchmark}
+    body = {"benchmark": benchmark, "environment": environment_metadata()}
     body.update(payload)
     return write_json(f"{benchmark}.json", body)

@@ -1,0 +1,163 @@
+"""Micro-benchmark: the native ("cython") backend on loop-heavy kernels.
+
+The backend's reason to exist is the Figure-11 class of *non-vectorisable*
+programs: sequential dependences (Gauss–Seidel sweeps, forward/back
+substitutions, Levinson–Durbin recursions) force the NumPy backend into
+per-element interpreted loops, which a single C compilation sweep away.
+This benchmark measures the forward pass of the loop kernels at the paper
+sizes through both backends and gates:
+
+* **Correctness** — both backends agree to 1e-9 on every kernel (asserted
+  for every measured kernel, always).
+* **Performance** — the native backend is at least **3x** faster on at
+  least **2** of the loop kernels.  (Measured speedups on the reference
+  machine are 30-200x; the 3x gate only guards against the native path
+  silently degenerating into the interpreted one.)
+
+Kernels where the native backend declines and falls back to NumPy are
+reported as such and excluded from the speedup gate (a fallback comparison
+would measure NumPy against itself).
+
+Without a C toolchain the benchmark prints why and exits cleanly (CI
+machines without ``cc`` skip it instead of failing).
+
+Results (with backend + toolchain metadata stamped by ``_common``) go to
+``benchmarks/results/native_backend.json``.
+
+Run with:  python benchmarks/bench_native_backend.py
+      or:  python -m pytest benchmarks/bench_native_backend.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _common import write_results
+
+from repro.harness import copy_data as _copy
+from repro.harness import format_table, geometric_mean
+from repro.npbench import get_kernel
+from repro.pipeline import compile_forward
+
+#: Figure-11 loop kernels whose sequential dependences defeat vectorisation.
+KERNELS = ["seidel2d", "durbin", "cholesky", "lu", "gramschmidt"]
+PRESET = "paper"
+REPEATS = 5
+ATOL = 1e-9
+#: The gate: >= SPEEDUP_TARGET on >= MIN_WINS kernels.
+SPEEDUP_TARGET = 3.0
+MIN_WINS = 2
+
+
+def _have_toolchain() -> bool:
+    from repro.codegen.cython_backend import find_c_compiler
+
+    return find_c_compiler() is not None
+
+
+def _time(compiled, data, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        args = _copy(data)
+        start = time.perf_counter()
+        compiled(**args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_kernel(name: str) -> dict:
+    """One kernel through both backends: agreement check + timings."""
+    spec = get_kernel(name)
+    data = spec.data(PRESET)
+    program = spec.program_for(PRESET)
+
+    reference = compile_forward(program, "O3", cache=False)
+    native = compile_forward(program, "O3", cache=False, backend="cython")
+
+    row = {
+        "kernel": name,
+        "preset": PRESET,
+        "backend": native.report.backend,
+        "fallback": native.report.backend_fallback,
+    }
+    if native.report.backend != "cython":
+        return row  # declined: nothing native to measure
+
+    expected = reference.compiled(**_copy(data))
+    actual = native.compiled(**_copy(data))
+    np.testing.assert_allclose(actual, expected, rtol=0, atol=ATOL)
+
+    numpy_seconds = _time(reference.compiled, data)
+    native_seconds = _time(native.compiled, data)
+    row.update(
+        numpy_seconds=numpy_seconds,
+        native_seconds=native_seconds,
+        speedup=numpy_seconds / native_seconds,
+    )
+    return row
+
+
+def run_native_benchmark() -> dict:
+    rows = [bench_kernel(name) for name in KERNELS]
+    measured = [row for row in rows if "speedup" in row]
+    speedups = [row["speedup"] for row in measured]
+    payload = {
+        "preset": PRESET,
+        "repeats": REPEATS,
+        "speedup_target": SPEEDUP_TARGET,
+        "min_wins": MIN_WINS,
+        "kernels": rows,
+        "wins": sum(1 for s in speedups if s >= SPEEDUP_TARGET),
+        "geomean_speedup": geometric_mean(speedups),
+    }
+    path = write_results("native_backend", payload)
+
+    print()
+    print(format_table(
+        ["kernel", "numpy [ms]", "native [ms]", "speedup", "note"],
+        [
+            [
+                row["kernel"],
+                row.get("numpy_seconds", float("nan")) * 1e3,
+                row.get("native_seconds", float("nan")) * 1e3,
+                row.get("speedup"),
+                row["fallback"] or "",
+            ]
+            for row in rows
+        ],
+        title=(
+            f"native backend vs numpy, forward @ {PRESET} sizes "
+            f"(geo-mean {payload['geomean_speedup']:.1f}x, "
+            f"{payload['wins']}/{len(measured)} kernels >= {SPEEDUP_TARGET:.0f}x)"
+        ),
+    ))
+    print(f"results written to {path}")
+    return payload
+
+
+def test_native_backend_meets_gates():
+    import pytest
+
+    if not _have_toolchain():
+        pytest.skip("no C compiler on PATH")
+    payload = run_native_benchmark()
+    # At least two loop kernels actually took the native path and beat the
+    # interpreted backend by the target factor.
+    assert payload["wins"] >= MIN_WINS, (
+        f"native backend won on {payload['wins']} kernels, "
+        f"need >= {MIN_WINS} at {SPEEDUP_TARGET}x"
+    )
+
+
+if __name__ == "__main__":
+    if not _have_toolchain():
+        print("bench_native_backend: skipped (no C compiler on PATH — "
+              "install cc/gcc/clang or set $REPRO_CC)")
+        raise SystemExit(0)
+    payload = run_native_benchmark()
+    assert payload["wins"] >= MIN_WINS, (
+        f"native backend won on only {payload['wins']} kernels "
+        f"(need >= {MIN_WINS} at {SPEEDUP_TARGET}x)"
+    )

@@ -50,6 +50,7 @@ class GradientFunction:
         symbol_values=None,
         cache=None,
         extra_passes: Sequence = (),
+        backend: Optional[str] = None,
     ) -> None:
         from repro.pipeline.driver import compile_gradient
 
@@ -66,6 +67,7 @@ class GradientFunction:
             "symbol_values": symbol_values,
             "cache": cache,
             "extra_passes": tuple(extra_passes),
+            "backend": backend,
         }
         outcome = compile_gradient(
             self.forward_sdfg,
@@ -77,6 +79,7 @@ class GradientFunction:
             symbol_values=symbol_values,
             cache=cache,
             extra_passes=extra_passes,
+            backend=backend,
         )
         self.result: BackwardPassResult = outcome.artifacts["backward"]
         self.wrt = list(self.result.gradient_names)
@@ -115,7 +118,7 @@ class GradientFunction:
 
 
 def grad(func_or_program, wrt=None, strategy=None, output=None,
-         optimize: str = "O1") -> GradientFunction:
+         optimize: str = "O1", backend: Optional[str] = None) -> GradientFunction:
     """Reverse-mode gradient of a scalar-output program.
 
     Examples
@@ -129,14 +132,15 @@ def grad(func_or_program, wrt=None, strategy=None, output=None,
     array([0.54, 0.54, 0.54, 0.54])
     """
     return GradientFunction(
-        func_or_program, wrt=wrt, strategy=strategy, output=output, optimize=optimize
+        func_or_program, wrt=wrt, strategy=strategy, output=output, optimize=optimize,
+        backend=backend,
     )
 
 
 def value_and_grad(func_or_program, wrt=None, strategy=None, output=None,
-                   optimize: str = "O1") -> GradientFunction:
+                   optimize: str = "O1", backend: Optional[str] = None) -> GradientFunction:
     """Like :func:`grad` but also returns the forward value."""
     return GradientFunction(
         func_or_program, wrt=wrt, strategy=strategy, return_value=True, output=output,
-        optimize=optimize,
+        optimize=optimize, backend=backend,
     )

@@ -81,7 +81,7 @@ class BatchedProgram:
         self.name = f"{getattr(program, 'name', getattr(program, '__name__', 'program'))}_vmap"
         self._info: Optional[BatchInfo] = None
         self._compiled = None
-        self._compiled_optimize: Optional[str] = None
+        self._compiled_key = None
 
     # -- lowering --------------------------------------------------------
     @property
@@ -102,15 +102,17 @@ class BatchedProgram:
         return self.info.sdfg
 
     # -- execution -------------------------------------------------------
-    def compile(self, optimize: str = "O1", cache=None):
+    def compile(self, optimize: str = "O1", cache=None,
+                backend: Optional[str] = None):
         """Compile batched forward code through the pipeline (cached)."""
-        if self._compiled is None or self._compiled_optimize != optimize:
+        key = (optimize, backend)
+        if self._compiled is None or self._compiled_key != key:
             from repro.pipeline.driver import compile_forward
 
             self._compiled = compile_forward(
-                self.to_sdfg(), optimize, cache=cache
+                self.to_sdfg(), optimize, cache=cache, backend=backend
             ).compiled
-            self._compiled_optimize = optimize
+            self._compiled_key = key
         return self._compiled
 
     def __call__(self, *args, **kwargs):

@@ -1,6 +1,11 @@
-"""Code generation: SDFG -> executable Python/NumPy.
+"""Code generation: SDFG -> executable callable, behind pluggable backends.
 
-The generator emits one Python function per SDFG:
+Code generation is dispatched through a backend registry
+(:mod:`repro.codegen.backend`): ``compile_sdfg(sdfg, backend="numpy")`` is
+the default interpreted path, ``backend="cython"`` the native one (see
+``docs/backends.md``).
+
+The default **numpy backend** emits one Python function per SDFG:
 
 * vectorisable maps become NumPy slice expressions (so whole-array operations
   run at native NumPy/BLAS speed);
@@ -14,18 +19,36 @@ The generator emits one Python function per SDFG:
 * scalars are 0-d NumPy arrays so in-place gradient accumulation works
   uniformly.
 
+The **cython backend** (:mod:`repro.codegen.cython_backend`) lowers
+sequential loop nests and scalar tasklets — exactly where the interpreted
+path is weakest — to C compiled with the system toolchain, declining
+unsupported programs with :class:`~repro.util.errors.UnsupportedFeatureError`
+so the pipeline can fall back per program.
+
 The generated source is kept on the compiled object (``.source``) for
-inspection and testing.
+inspection and testing; ``.backend`` names the producing backend.
 """
 
+from repro.codegen.backend import (
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
 from repro.codegen.compiled import CompiledSDFG, compile_sdfg
 from repro.codegen.emitter import generate_source
 from repro.codegen.runtime import bind_arguments, build_runtime_namespace
 
 __all__ = [
+    "Backend",
     "CompiledSDFG",
-    "compile_sdfg",
-    "generate_source",
+    "available_backends",
     "bind_arguments",
     "build_runtime_namespace",
+    "compile_sdfg",
+    "generate_source",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
 ]

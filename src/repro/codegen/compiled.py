@@ -6,10 +6,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.codegen.emitter import generate_source
 from repro.codegen.runtime import bind_arguments, build_runtime_namespace
 from repro.ir import SDFG
-from repro.util.errors import CodegenError
 
 
 class CompiledSDFG:
@@ -18,8 +16,12 @@ class CompiledSDFG:
     Calling the object binds arguments (inferring symbolic sizes from array
     shapes), executes the generated function and returns either the single
     result container or a dict of results.  The generated source is available
-    as ``.source`` for inspection.
+    as ``.source`` for inspection; ``.backend`` names the backend that
+    produced the executable (subclasses override it).
     """
+
+    #: Registry name of the backend that produced this object.
+    backend = "numpy"
 
     def __init__(self, sdfg: SDFG, source: str, func, result_names: list[str]) -> None:
         self.sdfg = sdfg
@@ -69,25 +71,32 @@ class CompiledSDFG:
         return {name: unwrap(value) for name, value in results.items()}
 
     def __repr__(self) -> str:
-        return f"CompiledSDFG({self.sdfg.name!r}, results={self.result_names})"
+        return (
+            f"{type(self).__name__}({self.sdfg.name!r}, "
+            f"backend={self.backend!r}, results={self.result_names})"
+        )
 
 
 def compile_sdfg(
     sdfg: SDFG,
     func_name: Optional[str] = None,
     result_names: Optional[list[str]] = None,
+    backend: Optional[str] = None,
 ) -> CompiledSDFG:
-    """Generate, compile and wrap executable code for ``sdfg``."""
+    """Generate, compile and wrap executable code for ``sdfg``.
+
+    ``backend`` names a registered code generator (``"numpy"`` — the
+    default — or ``"cython"``); see :mod:`repro.codegen.backend`.  A backend
+    may raise :class:`~repro.util.errors.UnsupportedFeatureError` to decline
+    the program — callers wanting automatic fallback should catch it and
+    retry with ``backend="numpy"`` (the pipeline's codegen stage does).
+    """
+    from repro.codegen.backend import get_backend
+
     if result_names is None:
         return_name = getattr(sdfg, "return_name", None)
         result_names = [return_name] if return_name else []
     func_name = func_name or f"__generated_{sdfg.name}"
-    source = generate_source(sdfg, func_name, result_names)
-    namespace = build_runtime_namespace()
-    try:
-        code = compile(source, filename=f"<repro:{sdfg.name}>", mode="exec")
-        exec(code, namespace)
-    except SyntaxError as exc:  # pragma: no cover - indicates an emitter bug
-        raise CodegenError(f"Generated code for {sdfg.name} is invalid:\n{source}") from exc
-    func = namespace[func_name]
-    return CompiledSDFG(sdfg, source, func, result_names)
+    return get_backend(backend).compile(
+        sdfg, func_name=func_name, result_names=result_names
+    )

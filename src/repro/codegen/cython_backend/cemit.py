@@ -1,0 +1,220 @@
+"""Symbolic expression -> C source, for the native backend.
+
+The renderer mirrors :mod:`repro.symbolic.codeemit` (the Python emitter) but
+targets C99 and is deliberately conservative: any construct without an exact
+C spelling raises :class:`CLoweringError`, which the lowering driver turns
+into a per-segment (and ultimately per-program) fallback to the NumPy
+backend.  Three contexts exist:
+
+``value``
+    Scalar arithmetic.  All values are computed in ``double`` — reads of
+    ``float``/integer arrays are promoted on load and results are cast back
+    to the output container's element type on store.  This matches the
+    interpreted backend, where scalar tasklets compute in Python floats
+    (C ``double``) regardless of the container dtype.
+
+``cond``
+    Branch conditions (C integer truth values).
+
+``index``
+    Array subscripts and loop bounds: ``int64_t`` arithmetic only, with
+    Python floor-division/modulo semantics via the ``__ifloordiv`` /
+    ``__imod`` helpers from :data:`C_PRELUDE`.
+
+Python semantics are preserved exactly where they differ from C's defaults:
+``%`` is Python modulo (result takes the sign of the divisor), ``//`` on
+values is ``floor(a / b)``, and ``**`` is C ``pow`` — the same libm ``pow``
+CPython's ``float.__pow__`` calls, so scalar tasklets agree bit-for-bit with
+the interpreted loops they replace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.symbolic.expr import (
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Expr,
+    IfExp,
+    Sym,
+    UnOp,
+)
+
+
+class CLoweringError(Exception):
+    """This construct is outside the native backend's supported subset.
+
+    Internal to :mod:`repro.codegen.cython_backend`: the emitter catches it
+    per segment and the backend converts an empty lowering into
+    :class:`~repro.util.errors.UnsupportedFeatureError`.
+    """
+
+
+#: Helpers every generated C translation unit starts with.
+C_PRELUDE = """\
+#include <stdint.h>
+#include <math.h>
+
+static double __sign(double x) { return (double)((x > 0.0) - (x < 0.0)); }
+static double __pymod(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+    return r;
+}
+static int64_t __ifloordiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+static int64_t __imod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+"""
+
+#: Intrinsic name -> libm spelling (double precision).
+_MATH_CALLS = {
+    "sin": "sin",
+    "cos": "cos",
+    "tan": "tan",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "tanh": "tanh",
+    "abs": "fabs",
+    "floor": "floor",
+    "ceil": "ceil",
+    "erf": "erf",
+    "maximum": "fmax",
+    "minimum": "fmin",
+    "sign": "__sign",
+}
+
+
+class CExprEmitter:
+    """Renders :class:`~repro.symbolic.expr.Expr` trees as C source.
+
+    ``resolve_value(name)`` / ``resolve_int(name)`` supply the C spelling of
+    a free symbol in value / index context (the kernel builder uses them to
+    bind loop variables and to collect scalar arguments); both may raise
+    :class:`CLoweringError` to decline a symbol.
+    """
+
+    def __init__(
+        self,
+        resolve_value: Callable[[str], str],
+        resolve_int: Callable[[str], str],
+    ) -> None:
+        self._resolve_value = resolve_value
+        self._resolve_int = resolve_int
+
+    # -- value context ----------------------------------------------------
+    def value(self, expr: Expr, rename: Mapping[str, str] | None = None) -> str:
+        """Render ``expr`` as a C ``double`` expression.  ``rename`` maps
+        connector names to pre-rendered C snippets (element loads)."""
+        rename = rename or {}
+        if isinstance(expr, Const):
+            return self._const_value(expr.value)
+        if isinstance(expr, Sym):
+            if expr.name in rename:
+                return rename[expr.name]
+            return self._resolve_value(expr.name)
+        if isinstance(expr, UnOp):
+            if expr.op == "-":
+                return f"(-{self.value(expr.operand, rename)})"
+            if expr.op == "not":
+                return f"({self.cond(expr.operand, rename)} ? 0.0 : 1.0)"
+            raise CLoweringError(f"unary operator {expr.op!r} has no C lowering")
+        if isinstance(expr, BinOp):
+            return self._binop_value(expr, rename)
+        if isinstance(expr, Call):
+            return self._call_value(expr, rename)
+        if isinstance(expr, Compare):
+            return f"({self.cond(expr, rename)} ? 1.0 : 0.0)"
+        if isinstance(expr, BoolOp):
+            return f"({self.cond(expr, rename)} ? 1.0 : 0.0)"
+        if isinstance(expr, IfExp):
+            cond = self.cond(expr.condition, rename)
+            then = self.value(expr.then, rename)
+            otherwise = self.value(expr.otherwise, rename)
+            return f"({cond} ? {then} : {otherwise})"
+        raise CLoweringError(f"cannot lower {type(expr).__name__} to C")
+
+    def _const_value(self, value) -> str:
+        if isinstance(value, bool):
+            return "1.0" if value else "0.0"
+        if isinstance(value, int):
+            return f"({float(value)!r})" if value < 0 else repr(float(value))
+        if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                raise CLoweringError(f"non-finite constant {value!r}")
+            return f"({value!r})" if value < 0 else repr(value)
+        raise CLoweringError(f"unsupported constant {value!r}")
+
+    def _binop_value(self, expr: BinOp, rename: Mapping[str, str]) -> str:
+        left = self.value(expr.left, rename)
+        right = self.value(expr.right, rename)
+        if expr.op in ("+", "-", "*", "/"):
+            return f"({left} {expr.op} {right})"
+        if expr.op == "//":
+            return f"floor({left} / {right})"
+        if expr.op == "%":
+            return f"__pymod({left}, {right})"
+        if expr.op == "**":
+            return f"pow({left}, {right})"
+        raise CLoweringError(f"binary operator {expr.op!r} has no scalar C lowering")
+
+    def _call_value(self, expr: Call, rename: Mapping[str, str]) -> str:
+        if expr.func == "relu":
+            return f"fmax({self.value(expr.args[0], rename)}, 0.0)"
+        spelled = _MATH_CALLS.get(expr.func)
+        if spelled is None:
+            raise CLoweringError(f"intrinsic {expr.func!r} has no C lowering")
+        args = ", ".join(self.value(arg, rename) for arg in expr.args)
+        return f"{spelled}({args})"
+
+    # -- condition context ------------------------------------------------
+    def cond(self, expr: Expr, rename: Mapping[str, str] | None = None) -> str:
+        """Render ``expr`` as a C truth-value expression."""
+        rename = rename or {}
+        if isinstance(expr, Compare):
+            left = self.value(expr.left, rename)
+            right = self.value(expr.right, rename)
+            return f"({left} {expr.op} {right})"
+        if isinstance(expr, BoolOp):
+            joiner = " && " if expr.op == "and" else " || "
+            return "(" + joiner.join(self.cond(v, rename) for v in expr.values) + ")"
+        if isinstance(expr, UnOp) and expr.op == "not":
+            return f"(!{self.cond(expr.operand, rename)})"
+        if isinstance(expr, Const):
+            return "1" if expr.value else "0"
+        return f"({self.value(expr, rename)} != 0.0)"
+
+    # -- index context ----------------------------------------------------
+    def index(self, expr: Expr) -> str:
+        """Render ``expr`` as an ``int64_t`` C expression (subscripts, loop
+        bounds).  Only integer-exact arithmetic is accepted."""
+        if isinstance(expr, Const):
+            if isinstance(expr.value, bool) or not isinstance(expr.value, int):
+                raise CLoweringError(f"non-integer constant {expr.value!r} in index")
+            return f"((int64_t){expr.value})" if expr.value < 0 else f"{expr.value}"
+        if isinstance(expr, Sym):
+            return self._resolve_int(expr.name)
+        if isinstance(expr, UnOp) and expr.op == "-":
+            return f"(-{self.index(expr.operand)})"
+        if isinstance(expr, BinOp):
+            left = self.index(expr.left)
+            right = self.index(expr.right)
+            if expr.op in ("+", "-", "*"):
+                return f"({left} {expr.op} {right})"
+            if expr.op == "//":
+                return f"__ifloordiv({left}, {right})"
+            if expr.op == "%":
+                return f"__imod({left}, {right})"
+            raise CLoweringError(f"operator {expr.op!r} is not integer-exact in index context")
+        raise CLoweringError(f"cannot lower {type(expr).__name__} in index context")

@@ -1,0 +1,148 @@
+"""The native backend: compiled-object wrapper and Backend implementation.
+
+:class:`NativeCompiledSDFG` extends the generated-source pickling contract
+of :class:`~repro.codegen.CompiledSDFG` to *backend artifacts*: pickling
+embeds the C source, the kernel calling conventions **and the built shared
+object's bytes**, so a ``CompilationCache(persist_dir=...)`` spill restores
+to a working native callable on a machine with no C toolchain at all —
+warm process starts skip the compiler entirely (the bytes are dropped back
+into the content-addressed artifact cache of
+:mod:`repro.codegen.cython_backend.build`).
+
+Calls route through a contiguity guard: C kernels index flat row-major
+memory, so non-C-contiguous array arguments (transposed views, strided
+slices) are copied in, and — because SDFG programs mutate their arguments
+in place — copied *back* after the call, preserving NumPy-backend semantics
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.codegen.backend import Backend
+from repro.codegen.compiled import CompiledSDFG
+from repro.codegen.cython_backend.build import (
+    NativeToolchainError,
+    ensure_shared_object,
+    find_c_compiler,
+    load_library,
+    make_kernel_callable,
+    source_digest,
+)
+from repro.codegen.cython_backend.emitter import NativeSourceEmitter, render_c_source
+from repro.codegen.cython_backend.lower import CKernel
+from repro.codegen.runtime import bind_arguments, build_runtime_namespace
+from repro.ir import SDFG
+from repro.util.errors import CodegenError, UnsupportedFeatureError
+
+
+def _native_namespace(library_path: str, kernels: list[CKernel]) -> dict:
+    """Runtime namespace of a native driver: the NumPy namespace plus one
+    ctypes trampoline per C kernel."""
+    namespace = build_runtime_namespace()
+    library = load_library(library_path)
+    for kernel in kernels:
+        namespace[kernel.name] = make_kernel_callable(library, kernel)
+    return namespace
+
+
+class NativeCompiledSDFG(CompiledSDFG):
+    """A compiled SDFG whose hot segments run as C kernels via ctypes."""
+
+    backend = "cython"
+
+    def __init__(self, sdfg: SDFG, source: str, func, result_names: list[str],
+                 c_source: str, kernels: list[CKernel], digest: str,
+                 library_path: str) -> None:
+        super().__init__(sdfg, source, func, result_names)
+        self.c_source = c_source
+        self.kernels = list(kernels)
+        self.digest = digest
+        self.library_path = library_path
+
+    # -- pickling (artifact round-trip) -----------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["func"]
+        try:
+            with open(self.library_path, "rb") as handle:
+                state["_so_bytes"] = handle.read()
+        except OSError:
+            state["_so_bytes"] = None  # rebuildable from c_source
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        so_bytes = state.pop("_so_bytes", None)
+        self.__dict__.update(state)
+        self.library_path = ensure_shared_object(
+            self.c_source, self.digest, so_bytes=so_bytes
+        )
+        namespace = _native_namespace(self.library_path, self.kernels)
+        code = compile(self.source, filename=f"<repro:{self.sdfg.name}>", mode="exec")
+        exec(code, namespace)
+        self.func = namespace[self.func_name]
+
+    # -- calling (contiguity guard) ---------------------------------------
+    def call_with_bindings(self, bindings: dict) -> dict:
+        contiguous = dict(bindings)
+        write_back = []
+        for name, value in bindings.items():
+            if isinstance(value, np.ndarray) and not value.flags.c_contiguous:
+                copy = np.ascontiguousarray(value)
+                contiguous[name] = copy
+                write_back.append((value, copy))
+        results = self.func(**contiguous)
+        for original, copy in write_back:
+            original[...] = copy
+        return results
+
+    def __call__(self, *args, **kwargs):
+        bindings = bind_arguments(self.sdfg, args, kwargs)
+        return self._postprocess(self.call_with_bindings(bindings))
+
+
+class CythonBackend(Backend):
+    """Native code generation through the system C toolchain.
+
+    (Named after the issue's Cython tier; the emitted language is plain C
+    compiled with ``cc``, which needs no Python-level build dependency —
+    see ``docs/backends.md`` for the trade-off.)
+    """
+
+    name = "cython"
+
+    def unavailable_reason(self) -> Optional[str]:
+        if find_c_compiler() is None:
+            return "no C compiler on PATH (install cc/gcc/clang or set $REPRO_CC)"
+        return None
+
+    def compile(self, sdfg: SDFG, func_name: str, result_names: list[str]):
+        reason = self.unavailable_reason()
+        if reason is not None:
+            raise NativeToolchainError(reason)
+        emitter = NativeSourceEmitter(sdfg, func_name, result_names)
+        source = emitter.generate()
+        if not emitter.kernels:
+            details = "; ".join(emitter.decline_reasons[:3]) or "no compute"
+            raise UnsupportedFeatureError(
+                f"cython backend: nothing in {sdfg.name!r} lowers to C ({details})"
+            )
+        c_source = render_c_source(emitter.kernels)
+        digest = source_digest(c_source)
+        library_path = ensure_shared_object(c_source, digest)
+        namespace = _native_namespace(library_path, emitter.kernels)
+        try:
+            code = compile(source, filename=f"<repro:{sdfg.name}>", mode="exec")
+            exec(code, namespace)
+        except SyntaxError as exc:  # pragma: no cover - indicates an emitter bug
+            raise CodegenError(
+                f"Generated driver for {sdfg.name} is invalid:\n{source}"
+            ) from exc
+        return NativeCompiledSDFG(
+            sdfg, source, namespace[func_name], result_names,
+            c_source=c_source, kernels=emitter.kernels, digest=digest,
+            library_path=library_path,
+        )

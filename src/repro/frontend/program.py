@@ -65,7 +65,7 @@ class Program:
         self.name = name or func.__name__
         self._sdfg: Optional[SDFG] = None
         self._compiled = None
-        self._compiled_optimize: Optional[str] = None
+        self._compiled_key = None
 
     # -- compilation pipeline ------------------------------------------------
     def to_sdfg(self) -> SDFG:
@@ -78,18 +78,22 @@ class Program:
     def sdfg(self) -> SDFG:
         return self.to_sdfg()
 
-    def compile(self, optimize: str = "O1"):
+    def compile(self, optimize: str = "O1", backend: Optional[str] = None):
         """Compile executable forward code through the pass pipeline.
 
         The result is memoised per instance *and* in the process-wide
         compilation cache, so distinct :class:`Program` objects wrapping the
-        same source share one compiled artifact.
+        same source share one compiled artifact.  ``backend`` selects the
+        code-generation backend (``"numpy"`` default, ``"cython"`` native).
         """
-        if self._compiled is None or self._compiled_optimize != optimize:
+        key = (optimize, backend)
+        if self._compiled is None or self._compiled_key != key:
             from repro.pipeline.driver import compile_forward
 
-            self._compiled = compile_forward(self.to_sdfg(), optimize).compiled
-            self._compiled_optimize = optimize
+            self._compiled = compile_forward(
+                self.to_sdfg(), optimize, backend=backend
+            ).compiled
+            self._compiled_key = key
         return self._compiled
 
     # -- batching --------------------------------------------------------------

@@ -75,8 +75,11 @@ def format_pipeline_report(report) -> str:
             ]
         )
     suffix = " (cache hit)" if getattr(report, "cache_hit", False) else ""
+    backend = getattr(report, "backend", None)
+    backend_part = f" [backend={backend}]" if backend else ""
     title = (
-        f"pipeline {report.pipeline}: {report.total_seconds * 1e3:.2f} ms total{suffix}"
+        f"pipeline {report.pipeline}{backend_part}: "
+        f"{report.total_seconds * 1e3:.2f} ms total{suffix}"
     )
     return format_table(
         ["pass", "time [ms]", "IR before", "IR after", "delta", "notes"],

@@ -68,6 +68,30 @@ class CostModelConfig:
         whose pass decisions depended on it."""
         return (self.bytes_per_flop, self.assignment_passes, self.default_symbol_value)
 
+    @classmethod
+    def for_backend(cls, backend: Optional[str]) -> "CostModelConfig":
+        """Knobs calibrated for one code-generation backend.
+
+        Unknown backend names get the NumPy defaults — a conservative
+        pricing that never over-fuses.
+        """
+        return cls(**BACKEND_COST_PRESETS.get(backend or "numpy", {}))
+
+
+#: Per-backend calibration of :class:`CostModelConfig` (see docs/backends.md
+#: and docs/cost-model.md).  NumPy: every recomputed scalar op streams
+#: operand arrays through memory (24 bytes/FLOP) and each materialised
+#: statement costs an extra temp read + target write (2 passes).  The native
+#: backend keeps recomputed values in registers and stores straight into the
+#: target, so recompute is nearly free relative to the traffic a fusion
+#: saves (0.75 bytes/FLOP ~ one double per 10-op expression) and no extra
+#: assignment pass exists.
+BACKEND_COST_PRESETS: dict[str, dict] = {
+    "numpy": {"bytes_per_flop": 24.0, "assignment_passes": 2},
+    "cython": {"bytes_per_flop": 0.75, "assignment_passes": 1},
+    "native": {"bytes_per_flop": 0.75, "assignment_passes": 1},
+}
+
 
 @dataclass(frozen=True)
 class FusionDecision:

@@ -106,11 +106,15 @@ def build_pipeline(
     func_name: Optional[str] = None,
     result_names: Optional[list[str]] = None,
     extra_passes: Sequence = (),
+    backend: Optional[str] = None,
 ) -> PassManager:
     """Assemble the default pipeline for one compilation request.
 
     ``extra_passes`` (pass instances, registered names or callables) are
-    inserted after simplification and before AD/codegen.
+    inserted after simplification and before AD/codegen.  ``backend``
+    selects the code generator (``None`` = numpy) — it configures both the
+    terminal codegen stage and, at ``"O3"``, the cost model that prices
+    fusions (native loops make recompute far cheaper; see docs/backends.md).
     """
     if optimize not in OPT_LEVELS:
         raise PipelineError(
@@ -129,6 +133,7 @@ def build_pipeline(
             # Cost-driven fusion prices backward-pass recomputation only
             # when this compilation will actually differentiate.
             kwargs.setdefault("gradient_aware", gradient)
+            kwargs.setdefault("backend", backend)
         if issubclass(cls, _KEEP_AWARE):
             kwargs.setdefault("extra_keep", tuple(keep))
         passes.append(cls(**kwargs))
@@ -138,7 +143,12 @@ def build_pipeline(
         passes.append(CheckpointingSelection(checkpointing))
         passes.append(Autodiff(output=output, inputs=wrt))
     passes.append(
-        Codegen(func_name=func_name, result_names=result_names, return_value=return_value)
+        Codegen(
+            func_name=func_name,
+            result_names=result_names,
+            return_value=return_value,
+            backend=backend,
+        )
     )
     kind = "grad" if gradient else "forward"
     return PassManager(passes, name=f"{kind}-{optimize}")
@@ -239,6 +249,7 @@ def compile_forward(
     extra_passes: Sequence = (),
     func_name: Optional[str] = None,
     result_names: Optional[list[str]] = None,
+    backend: Optional[str] = None,
 ) -> CompileOutcome:
     """Compile the forward program through the pipeline (cached)."""
     sdfg = to_sdfg(program)
@@ -247,6 +258,7 @@ def compile_forward(
         extra_passes=extra_passes,
         func_name=func_name,
         result_names=result_names,
+        backend=backend,
     )
     ctx = PassContext(
         symbol_values=dict(symbol_values or {}),
@@ -266,6 +278,7 @@ def compile_gradient(
     symbol_values: Optional[Mapping[str, object]] = None,
     cache: Union[CompilationCache, bool, None] = None,
     extra_passes: Sequence = (),
+    backend: Optional[str] = None,
 ) -> CompileOutcome:
     """Compile the forward+backward program through the pipeline (cached).
 
@@ -284,6 +297,7 @@ def compile_gradient(
         output=output,
         return_value=return_value,
         extra_passes=extra_passes,
+        backend=backend,
     )
     ctx = PassContext(
         symbol_values=dict(symbol_values or {}),
@@ -314,6 +328,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
     symbol_values: Optional[Mapping[str, object]] = None,
     cache: Union[CompilationCache, bool, None] = None,
     extra_passes: Sequence = (),
+    backend: Optional[str] = None,
 ):
     """Top-level compilation entry point (re-exported as ``repro.compile``).
 
@@ -323,6 +338,10 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
     :class:`~repro.autodiff.GradientFunction`.  Both paths share the
     compilation cache: a second call on an unchanged program with the same
     configuration returns the previously compiled object.
+
+    ``backend`` selects the code generator (``"numpy"`` default,
+    ``"cython"`` for the native C backend with automatic per-program
+    fallback — see docs/backends.md).
     """
     if gradient is None:
         gradient = wrt is not None or checkpointing is not None or output is not None
@@ -343,6 +362,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
             symbol_values=symbol_values,
             cache=cache,
             extra_passes=extra_passes,
+            backend=backend,
         )
     outcome = compile_forward(
         program,
@@ -350,5 +370,6 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
         symbol_values=symbol_values,
         cache=cache,
         extra_passes=extra_passes,
+        backend=backend,
     )
     return outcome.compiled

@@ -69,6 +69,26 @@ class PipelineReport:
         """Sum of per-pass wall times (the pipeline's compile cost)."""
         return sum(record.seconds for record in self.records)
 
+    @property
+    def backend(self) -> Optional[str]:
+        """Name of the code-generation backend that actually ran (recorded
+        by the codegen stage; reflects fallbacks — a compile requested with
+        ``backend="cython"`` that fell back reports ``"numpy"`` here, with
+        the fallback event in the codegen record's notes).  Derived from the
+        records, so cache hits report it for free."""
+        record = self.record_for("codegen")
+        if record is None:
+            return None
+        return record.info.get("backend")
+
+    @property
+    def backend_fallback(self) -> Optional[str]:
+        """The fallback event (``"cython→numpy: ..."``) if one happened."""
+        record = self.record_for("codegen")
+        if record is None:
+            return None
+        return record.info.get("backend_fallback")
+
     def record_for(self, name: str) -> Optional[PassRecord]:
         """The first record of the pass called ``name``, or ``None`` if the
         pipeline did not run it."""
@@ -82,6 +102,7 @@ class PipelineReport:
         return {
             "pipeline": self.pipeline,
             "cache_hit": self.cache_hit,
+            "backend": self.backend,
             "total_seconds": self.total_seconds,
             "passes": [record.to_dict() for record in self.records],
         }

@@ -111,6 +111,11 @@ class MapFusion(Pass):
     declines fusions that would force the backward pass to recompute stored
     values.  Decision counts land in the pipeline report
     (``fused_stencil``, ``declined_gradient``, ...).
+
+    ``backend`` calibrates the pricing: without an explicit ``cost_config``
+    the knobs come from ``CostModelConfig.for_backend(backend)`` — native
+    loops keep recomputed values in registers, so recompute is priced far
+    cheaper than under the interpreted NumPy backend (see docs/cost-model.md).
     """
 
     name = "map-fusion"
@@ -121,14 +126,23 @@ class MapFusion(Pass):
         cost_driven: bool = False,
         gradient_aware: bool = False,
         cost_config=None,
+        backend: Optional[str] = None,
     ) -> None:
         self.extra_keep = tuple(extra_keep)
         self.cost_driven = cost_driven
         self.gradient_aware = gradient_aware
         self.cost_config = cost_config
+        self.backend = backend
+
+    def _resolved_config(self):
+        from repro.passes.cost import CostModelConfig
+
+        if self.cost_config is not None:
+            return self.cost_config
+        return CostModelConfig.for_backend(self.backend)
 
     def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
-        from repro.passes.cost import CostModel, CostModelConfig, summarize_decisions
+        from repro.passes.cost import CostModel, summarize_decisions
         from repro.passes.fusion import fuse_elementwise_maps
 
         protect = {name for name in self.extra_keep if name in sdfg.arrays}
@@ -137,7 +151,7 @@ class MapFusion(Pass):
             model = CostModel(
                 sdfg,
                 symbol_values=ctx.symbol_values,
-                config=self.cost_config or CostModelConfig(),
+                config=self._resolved_config(),
             )
         fused = fuse_elementwise_maps(
             sdfg, protect=protect, cost_model=model,
@@ -153,10 +167,11 @@ class MapFusion(Pass):
     def fingerprint(self) -> tuple:
         fp: tuple = (self.name, self.extra_keep)
         if self.cost_driven:
-            from repro.passes.cost import CostModelConfig
-
-            config = self.cost_config or CostModelConfig()
-            fp += ("cost-driven", self.gradient_aware, config.fingerprint())
+            fp += (
+                "cost-driven",
+                self.gradient_aware,
+                self._resolved_config().fingerprint(),
+            )
         return fp
 
 
@@ -231,8 +246,19 @@ class Autodiff(Pass):
 
 
 class Codegen(Pass):
-    """Terminal stage: emit + compile NumPy code, stash the
-    :class:`CompiledSDFG` under ``ctx.artifacts["compiled"]``."""
+    """Terminal stage: emit + compile executable code through the selected
+    backend, stash the :class:`CompiledSDFG` under ``ctx.artifacts["compiled"]``.
+
+    ``backend`` names a registered code generator (``None`` = the numpy
+    default; see :mod:`repro.codegen.backend`).  A non-default backend that
+    *declines* the program — :class:`UnsupportedFeatureError` from its
+    emitter, or a missing C toolchain — triggers a clean per-program
+    fallback to the numpy backend; the report records both the backend that
+    actually ran (``backend``) and the fallback event (``backend_fallback``,
+    e.g. ``cython→numpy: UnsupportedFeatureError(...)``).  The backend name
+    is part of the pass fingerprint, so the same program compiled under two
+    backends occupies two distinct compilation-cache entries.
+    """
 
     name = "codegen"
 
@@ -241,10 +267,12 @@ class Codegen(Pass):
         func_name: Optional[str] = None,
         result_names: Optional[list[str]] = None,
         return_value: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self.func_name = func_name
         self.result_names = result_names
         self.return_value = return_value
+        self.backend = backend
 
     def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
         from repro.codegen import compile_sdfg
@@ -264,10 +292,40 @@ class Codegen(Pass):
                 ]
                 if self.return_value:
                     result_names = result_names + [backward.output]
-        compiled = compile_sdfg(sdfg, func_name=func_name, result_names=result_names)
+        compiled = self._compile(sdfg, ctx, func_name, result_names)
         ctx.artifacts["compiled"] = compiled
+        ctx.note("backend", compiled.backend)
         ctx.note("source_lines", compiled.source.count("\n") + 1)
         return sdfg
+
+    def _compile(self, sdfg: SDFG, ctx: PassContext, func_name, result_names):
+        from repro.codegen import compile_sdfg
+        from repro.util.errors import UnsupportedFeatureError
+
+        if self.backend in (None, "numpy"):
+            return compile_sdfg(
+                sdfg, func_name=func_name, result_names=result_names,
+                backend=self.backend,
+            )
+        from repro.codegen.cython_backend.build import NativeToolchainError
+
+        try:
+            return compile_sdfg(
+                sdfg, func_name=func_name, result_names=result_names,
+                backend=self.backend,
+            )
+        except (UnsupportedFeatureError, NativeToolchainError) as exc:
+            message = str(exc)
+            if len(message) > 200:
+                message = message[:200] + "..."
+            ctx.note(
+                "backend_fallback",
+                f"{self.backend}→numpy: {type(exc).__name__}({message})",
+            )
+            return compile_sdfg(
+                sdfg, func_name=func_name, result_names=result_names,
+                backend="numpy",
+            )
 
     def fingerprint(self) -> tuple:
         return (
@@ -275,6 +333,7 @@ class Codegen(Pass):
             self.func_name,
             tuple(self.result_names) if self.result_names is not None else None,
             self.return_value,
+            self.backend,
         )
 
 

@@ -38,7 +38,13 @@ DOC_FILES = sorted(Path(REPO_ROOT, "docs").glob("*.md")) + [
 ]
 
 #: Packages whose public modules must each be documented somewhere in docs/.
-DOCUMENTED_PACKAGES = ("src/repro/passes", "src/repro/pipeline", "src/repro/batching")
+DOCUMENTED_PACKAGES = (
+    "src/repro/passes",
+    "src/repro/pipeline",
+    "src/repro/batching",
+    "src/repro/codegen",
+    "src/repro/codegen/cython_backend",
+)
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CODE_RE = re.compile(r"`([^`\n]+)`")

@@ -1,0 +1,112 @@
+"""Cross-backend differential suite.
+
+For every registered NPBench-style kernel, compile the same program through
+the NumPy backend and the native ("cython") backend under both the O0 and O3
+tiers and check the results agree — forward, gradient and vmapped forward.
+The native backend is allowed to *decline* a program (it then falls back to
+NumPy inside the pipeline); such cases are skipped with the recorded reason
+rather than silently passing, so the report shows exactly which kernels
+exercise the native path.
+
+Float64 kernels must agree to 1e-9 (the paper-level bar); float32 kernels
+get a looser 1e-4 because the C math library and NumPy's vectorised
+intrinsics round differently in single precision.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen.cython_backend import find_c_compiler
+from repro.npbench import all_kernels
+from repro.pipeline import compile_forward
+
+pytestmark = pytest.mark.skipif(
+    find_c_compiler() is None,
+    reason="cross-backend differential tests need a C compiler on PATH",
+)
+
+KERNELS = all_kernels()
+KERNEL_NAMES = sorted(KERNELS)
+TIERS = ["O0", "O3"]
+
+
+def _atol(spec):
+    return 1e-4 if spec.dtype == np.float32 else 1e-9
+
+
+def _copy_data(data):
+    return {k: (np.array(v, copy=True) if isinstance(v, np.ndarray) else v)
+            for k, v in data.items()}
+
+
+def _batched(data, batch=2):
+    """Stack every array argument along a new leading batch axis."""
+    return {k: (np.stack([v] * batch) if isinstance(v, np.ndarray) else v)
+            for k, v in data.items()}
+
+
+def _skip_unless_native(report, what):
+    """Skip (with the pipeline's recorded reason) when the native backend
+    declined and the pipeline fell back to NumPy — a fallback comparison
+    would trivially pass without testing anything."""
+    if report.backend != "cython":
+        reason = report.backend_fallback or f"backend={report.backend}"
+        pytest.skip(f"native backend declined {what}: {reason}")
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_forward_agrees_across_backends(name, tier):
+    spec = KERNELS[name]
+    data = spec.data("S")
+    program = spec.program_for("S")
+
+    reference = compile_forward(program, tier, cache=False)
+    native = compile_forward(program, tier, cache=False, backend="cython")
+    _skip_unless_native(native.report, f"{name} forward/{tier}")
+
+    expected = reference.compiled(**_copy_data(data))
+    actual = native.compiled(**_copy_data(data))
+    np.testing.assert_allclose(actual, expected, rtol=0, atol=_atol(spec))
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_gradient_agrees_across_backends(name, tier):
+    spec = KERNELS[name]
+    data = spec.data("S")
+
+    reference = repro.grad(spec.program_for("S"), wrt=spec.wrt, optimize=tier)
+    native = repro.grad(
+        spec.program_for("S"), wrt=spec.wrt, optimize=tier, backend="cython"
+    )
+    _skip_unless_native(native.report, f"{name} grad/{tier}")
+
+    expected = reference(**_copy_data(data))
+    actual = native(**_copy_data(data))
+    np.testing.assert_allclose(actual, expected, rtol=0, atol=_atol(spec))
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_vmap_agrees_across_backends(name, tier):
+    spec = KERNELS[name]
+    data = spec.data("S")
+
+    batched = _batched(data)
+    try:
+        reference = repro.vmap(spec.program_for("S")).compile(optimize=tier)
+        expected = reference(**_copy_data(batched))
+    except Exception as exc:  # noqa: BLE001 - transform limitation, not a
+        # backend property: the *reference* backend cannot run this batched
+        # program either, so there is nothing to compare against.
+        pytest.skip(f"vmap does not support {name}: {type(exc).__name__}: {exc}")
+
+    native_prog = repro.vmap(spec.program_for("S"))
+    native = native_prog.compile(optimize=tier, backend="cython")
+    if native.backend != "cython":
+        pytest.skip(f"native backend declined {name} vmap/{tier}")
+
+    actual = native(**_copy_data(batched))
+    np.testing.assert_allclose(actual, expected, rtol=0, atol=_atol(spec))

@@ -1,0 +1,320 @@
+"""Tests for the pluggable code-generation backends.
+
+Covers the backend registry, the native ("cython") backend's correctness
+against the NumPy backend, the automatic per-program fallback, cache
+integration (distinct fingerprints per backend, persist_dir artifact
+round-trip) and the backend-aware cost-model presets.  The cross-backend
+differential sweep over the full kernel suite lives in
+``tests/test_backend_differential.py``.
+"""
+
+import pickle
+import shutil
+
+import numpy as np
+import pytest
+
+import repro
+from repro.codegen import (
+    Backend,
+    available_backends,
+    compile_sdfg,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
+from repro.codegen.backend import _REGISTRY
+from repro.codegen.cython_backend import (
+    CythonBackend,
+    NativeCompiledSDFG,
+    NativeToolchainError,
+    find_c_compiler,
+)
+from repro.ir import SDFG, LibraryCall, Memlet
+from repro.passes.cost import CostModelConfig
+from repro.pipeline import CompilationCache, compile_forward
+from repro.pipeline.stages import MapFusion
+from repro.symbolic import Sym
+from repro.util.errors import CodegenError, UnsupportedFeatureError
+
+N = repro.symbol("N")
+
+HAVE_TOOLCHAIN = find_c_compiler() is not None
+needs_toolchain = pytest.mark.skipif(
+    not HAVE_TOOLCHAIN, reason="no C compiler on PATH"
+)
+
+
+def make_loop_program():
+    @repro.program
+    def smooth(A: repro.float64[N]):
+        out = np.zeros_like(A)
+        for i in range(1, N - 1):
+            out[i] = (A[i - 1] + A[i] + A[i + 1]) / 3.0
+        return out
+
+    return smooth
+
+
+def make_inplace_program():
+    @repro.program
+    def scale(A: repro.float64[N, N]):
+        for i in range(N):
+            for j in range(N):
+                A[i, j] = A[i, j] * 2.0 + 1.0
+        return np.sum(A)
+
+    return scale
+
+
+def make_softmax_sdfg():
+    """An SDFG whose only node is a library kind the native backend cannot
+    lower — the whole program declines, triggering the pipeline fallback."""
+    sdfg = SDFG("only_softmax")
+    sdfg.add_array("X", (Sym("N"),), "float64")
+    sdfg.add_array("__return", (Sym("N"),), "float64", transient=True)
+    sdfg.arg_names = ["X"]
+    sdfg.return_name = "__return"
+    state = sdfg.add_state("s")
+    state.add(
+        LibraryCall(
+            "softmax",
+            inputs={"_in": Memlet("X", None)},
+            output=Memlet("__return", None),
+        )
+    )
+    return sdfg
+
+
+class TestRegistry:
+    def test_default_backend_is_numpy(self):
+        assert get_backend(None).name == "numpy"
+        assert get_backend("numpy").name == "numpy"
+
+    def test_builtin_backends_registered(self):
+        names = registered_backends()
+        assert "numpy" in names
+        assert "cython" in names
+        assert "native" in names  # honest alias: the emitted language is C
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_error_lists_options(self):
+        with pytest.raises(CodegenError, match="cython"):
+            get_backend("llvm")
+
+    def test_register_custom_backend(self):
+        class Dummy(Backend):
+            name = "dummy-test"
+
+            def compile(self, sdfg, func_name, result_names):
+                raise UnsupportedFeatureError("dummy declines everything")
+
+        register_backend("dummy-test", Dummy())
+        try:
+            assert get_backend("dummy-test").name == "dummy-test"
+            assert "dummy-test" in registered_backends()
+        finally:
+            _REGISTRY.pop("dummy-test", None)
+
+    def test_cython_backend_reports_toolchain(self):
+        backend = get_backend("cython")
+        assert isinstance(backend, CythonBackend)
+        if HAVE_TOOLCHAIN:
+            assert backend.is_available()
+        else:
+            assert "compiler" in backend.unavailable_reason()
+
+
+@needs_toolchain
+class TestNativeCorrectness:
+    def test_forward_matches_numpy(self):
+        x = np.linspace(0.0, 1.0, 64)
+        c_np = repro.compile(make_loop_program(), optimize="O0", cache=False)
+        c_cy = repro.compile(
+            make_loop_program(), optimize="O0", backend="cython", cache=False
+        )
+        assert c_cy.backend == "cython"
+        assert isinstance(c_cy, NativeCompiledSDFG)
+        np.testing.assert_allclose(c_cy(x.copy()), c_np(x.copy()), rtol=0, atol=1e-9)
+
+    def test_report_records_backend(self):
+        outcome = compile_forward(
+            make_loop_program(), "O3", cache=False, backend="cython"
+        )
+        assert outcome.report.backend == "cython"
+        assert outcome.report.backend_fallback is None
+        assert "[backend=cython]" in outcome.report.pretty()
+
+    def test_gradient_through_native_backend(self):
+        @repro.program
+        def f(A: repro.float64[N]):
+            s = 0.0
+            for i in range(N):
+                s = s + A[i] * A[i] + np.sin(A[i])
+            return s
+
+        x = np.linspace(0.1, 1.0, 40)
+        g_np = repro.grad(f, wrt="A")
+        g_cy = repro.grad(f, wrt="A", backend="cython")
+        assert g_cy.report.backend == "cython"
+        np.testing.assert_allclose(g_cy(x.copy()), g_np(x.copy()), rtol=0, atol=1e-9)
+
+    def test_vmap_through_native_backend(self):
+        batch = np.random.default_rng(0).standard_normal((5, 32))
+        expected = repro.vmap(make_loop_program()).compile(optimize="O1")(batch.copy())
+        compiled = repro.vmap(make_loop_program()).compile(
+            optimize="O1", backend="cython"
+        )
+        assert compiled.backend == "cython"
+        np.testing.assert_allclose(compiled(batch.copy()), expected, rtol=0, atol=1e-9)
+
+    def test_non_contiguous_input_with_write_back(self):
+        base_a = np.random.default_rng(1).standard_normal((12, 12))
+        base_b = base_a.copy()
+        # Fortran-ordered view: not C-contiguous, mutated in place by the
+        # program, so the native backend must copy in AND write back.
+        view_a = np.asfortranarray(base_a)
+        view_b = np.asfortranarray(base_b)
+        assert not view_a.flags.c_contiguous
+
+        c_np = repro.compile(make_inplace_program(), optimize="O0", cache=False)
+        c_cy = repro.compile(
+            make_inplace_program(), optimize="O0", backend="cython", cache=False
+        )
+        r_np = c_np(view_a)
+        r_cy = c_cy(view_b)
+        np.testing.assert_allclose(r_cy, r_np, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(view_b, view_a, rtol=0, atol=1e-9)
+
+
+class TestFallback:
+    @needs_toolchain
+    def test_unsupported_program_raises_for_direct_compile(self):
+        with pytest.raises(UnsupportedFeatureError, match="nothing in"):
+            compile_sdfg(make_softmax_sdfg(), backend="cython",
+                         result_names=["__return"])
+
+    @needs_toolchain
+    def test_pipeline_falls_back_to_numpy_with_note(self):
+        outcome = compile_forward(
+            make_softmax_sdfg(), "O0", cache=False, backend="cython"
+        )
+        assert outcome.compiled.backend == "numpy"
+        assert outcome.report.backend == "numpy"
+        fallback = outcome.report.backend_fallback
+        assert fallback is not None and fallback.startswith("cython→numpy")
+        assert "UnsupportedFeatureError" in fallback
+        assert "backend_fallback" in outcome.report.pretty()
+        # ... and the result is still correct.
+        x = np.linspace(-1.0, 1.0, 8)
+        expected = np.exp(x) / np.sum(np.exp(x))
+        np.testing.assert_allclose(outcome.compiled(x.copy()), expected, atol=1e-12)
+
+    def test_missing_toolchain_falls_back(self, monkeypatch):
+        import repro.codegen.cython_backend.compiled as native_compiled
+
+        monkeypatch.setattr(native_compiled, "find_c_compiler", lambda: None)
+        with pytest.raises(NativeToolchainError):
+            compile_sdfg(make_loop_program().to_sdfg(), backend="cython")
+        outcome = compile_forward(
+            make_loop_program(), "O0", cache=False, backend="cython"
+        )
+        assert outcome.compiled.backend == "numpy"
+        assert "NativeToolchainError" in (outcome.report.backend_fallback or "")
+
+
+@needs_toolchain
+class TestCacheIntegration:
+    def test_backends_get_distinct_cache_entries(self):
+        cache = CompilationCache()
+        program = make_loop_program()
+        first = compile_forward(program, "O1", cache=cache, backend="cython")
+        second = compile_forward(program, "O1", cache=cache, backend="numpy")
+        assert len(cache) == 2
+        assert not second.cache_hit
+        assert first.compiled.backend == "cython"
+        assert second.compiled.backend == "numpy"
+        # Same request again: served from cache, backend preserved.
+        third = compile_forward(program, "O1", cache=cache, backend="cython")
+        assert third.cache_hit
+        assert third.compiled.backend == "cython"
+        assert third.report.backend == "cython"
+
+    def test_persist_dir_round_trips_native_artifacts(self, tmp_path):
+        persist = str(tmp_path / "spill")
+        x = np.linspace(0.0, 1.0, 48)
+
+        warm = CompilationCache(persist_dir=persist)
+        cold = compile_forward(
+            make_loop_program(), "O1", cache=warm, backend="cython"
+        )
+        expected = cold.compiled(x.copy())
+
+        # A fresh cache over the same directory simulates a new process:
+        # the entry loads from disk, restoring a working native callable.
+        fresh = CompilationCache(persist_dir=persist)
+        loaded = compile_forward(
+            make_loop_program(), "O1", cache=fresh, backend="cython"
+        )
+        assert fresh.stats.disk_hits == 1
+        assert loaded.cache_hit
+        assert isinstance(loaded.compiled, NativeCompiledSDFG)
+        assert loaded.compiled.backend == "cython"
+        np.testing.assert_allclose(loaded.compiled(x.copy()), expected, atol=1e-9)
+
+    def test_one_backend_entry_misses_for_another(self, tmp_path):
+        persist = str(tmp_path / "spill")
+        first = CompilationCache(persist_dir=persist)
+        compile_forward(make_loop_program(), "O1", cache=first, backend="cython")
+
+        fresh = CompilationCache(persist_dir=persist)
+        outcome = compile_forward(
+            make_loop_program(), "O1", cache=fresh, backend="numpy"
+        )
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.misses == 1
+        assert outcome.compiled.backend == "numpy"
+
+    def test_direct_pickle_rebuilds_missing_artifact(self, tmp_path, monkeypatch):
+        # Isolate the content-addressed artifact cache so wiping it cannot
+        # touch the user's real one.
+        art_dir = tmp_path / "artifacts"
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_DIR", str(art_dir))
+        x = np.linspace(0.0, 1.0, 48)
+        compiled = repro.compile(
+            make_loop_program(), optimize="O1", backend="cython", cache=False
+        )
+        expected = compiled(x.copy())
+        blob = pickle.dumps(compiled)
+        shutil.rmtree(art_dir)  # artifact gone: restore must use embedded bytes
+        restored = pickle.loads(blob)
+        assert isinstance(restored, NativeCompiledSDFG)
+        np.testing.assert_allclose(restored(x.copy()), expected, atol=1e-9)
+
+
+class TestBackendAwareCostModel:
+    def test_native_preset_is_compute_cheaper(self):
+        numpy_cfg = CostModelConfig.for_backend("numpy")
+        native_cfg = CostModelConfig.for_backend("cython")
+        assert native_cfg.bytes_per_flop < numpy_cfg.bytes_per_flop
+        assert native_cfg.assignment_passes < numpy_cfg.assignment_passes
+
+    def test_default_and_alias_presets(self):
+        assert CostModelConfig.for_backend(None) == CostModelConfig.for_backend("numpy")
+        assert CostModelConfig.for_backend("native") == CostModelConfig.for_backend("cython")
+
+    def test_map_fusion_fingerprint_depends_on_backend(self):
+        # Backend-calibrated pricing only engages in the cost-driven (O3)
+        # configuration, so only there must the fingerprint split.
+        assert (
+            MapFusion(cost_driven=True, backend="cython").fingerprint()
+            != MapFusion(cost_driven=True, backend=None).fingerprint()
+        )
+        # An explicit cost config wins over the backend preset.
+        explicit = CostModelConfig()
+        assert (
+            MapFusion(cost_driven=True, cost_config=explicit, backend="cython").fingerprint()
+            == MapFusion(cost_driven=True, cost_config=explicit, backend=None).fingerprint()
+        )
