@@ -399,15 +399,55 @@ class BackwardRuleEmitter:
                 out_subset = gout_element
         else:
             out_subset = gout_element
+        # Ties: several inputs can attain the extremum (the off-diagonal
+        # minimum of a symmetric Gram matrix sits at both (i, j) and (j, i)),
+        # and routing the full output gradient to every tied element scales
+        # the input gradient by the tie count.  Split it evenly instead — the
+        # JAX/autograd convention, and the one the jaxlike oracle implements.
+        out_desc = self.sdfg.arrays[node.output.data]
+        ties = self.sdfg.add_transient(
+            f"__ties_{node.output.data}", out_desc.shape,
+            np.float32 if out_desc.dtype == np.float32 else np.float64,
+        ).name
+        clear_params, clear_ranges, clear_element = _region_params(
+            "c", None, self.sdfg, ties, self._counter)
+        state.add(
+            MapCompute(
+                params=clear_params,
+                ranges=clear_ranges,
+                expr=Const(0),
+                inputs={},
+                output=Memlet(ties, Subset(clear_element)),
+                label=f"clear_{ties}",
+            )
+        )
         state.add(
             MapCompute(
                 params=params,
                 ranges=ranges,
-                expr=IfExp(Compare("==", Sym("__val"), Sym("__out")), Sym("__gout"), Const(0)),
+                expr=IfExp(Compare("==", Sym("__val"), Sym("__out")), Const(1), Const(0)),
+                inputs={
+                    "__val": Memlet(in_val.data, Subset(in_element)),
+                    "__out": Memlet(out_val.data, out_subset),
+                },
+                output=Memlet(ties, gout_element, accumulate=True),
+                label=f"ties_{node.label}",
+            )
+        )
+        state.add(
+            MapCompute(
+                params=params,
+                ranges=ranges,
+                expr=IfExp(
+                    Compare("==", Sym("__val"), Sym("__out")),
+                    BinOp("/", Sym("__gout"), Sym("__ties")),
+                    Const(0),
+                ),
                 inputs={
                     "__val": Memlet(in_val.data, Subset(in_element)),
                     "__out": Memlet(out_val.data, out_subset),
                     "__gout": Memlet(grad_out, gout_element),
+                    "__ties": Memlet(ties, gout_element),
                 },
                 output=Memlet(self.grads.get(source.data), Subset(element), accumulate=True),
                 label=f"bwd_{node.label}",

@@ -1,0 +1,81 @@
+"""Differential-testing fuzzer for the repro compiler.
+
+Random programs drawn from the frontend's supported subset
+(:mod:`repro.fuzz.generate`, grammar in :mod:`repro.fuzz.grammar`) are
+rendered to two independent executable forms (:mod:`repro.fuzz.render`)
+and cross-checked under the full ``{O0..O3} x {forward, grad, vmap,
+vmap∘grad} x {numpy, cython}`` configuration matrix against the loop-based
+jaxlike oracle (:mod:`repro.fuzz.harness`).  Failures are minimized by a
+delta-debugging shrinker (:mod:`repro.fuzz.shrink`) and serialized into a
+replayable regression corpus (:mod:`repro.fuzz.corpus`); run metadata goes
+through :mod:`repro.fuzz.report`.  ``python -m repro.fuzz`` drives a
+campaign end to end.  See ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    default_corpus_dir,
+    load_corpus,
+    load_entry,
+    parse_config,
+    verify_entry,
+)
+from repro.fuzz.generate import ProgramGenerator, hard_templates
+from repro.fuzz.grammar import ArgSpec, FuzzProgram, rebuild_shapes
+from repro.fuzz.harness import (
+    BACKENDS,
+    MODES,
+    TIERS,
+    TOLERANCES,
+    CaseOutcome,
+    CaseSpec,
+    Config,
+    DifferentialRunner,
+    FailureSignature,
+    full_matrix,
+    reproduces,
+    run_case,
+)
+from repro.fuzz.render import (
+    build_oracle,
+    build_sdfg,
+    render_oracle_source,
+    render_repro_source,
+)
+from repro.fuzz.report import build_report, summarize, write_report
+from repro.fuzz.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "ArgSpec",
+    "BACKENDS",
+    "CaseOutcome",
+    "CaseSpec",
+    "Config",
+    "CorpusEntry",
+    "DifferentialRunner",
+    "FailureSignature",
+    "FuzzProgram",
+    "MODES",
+    "ProgramGenerator",
+    "ShrinkResult",
+    "TIERS",
+    "TOLERANCES",
+    "build_oracle",
+    "build_report",
+    "build_sdfg",
+    "default_corpus_dir",
+    "full_matrix",
+    "hard_templates",
+    "load_corpus",
+    "load_entry",
+    "parse_config",
+    "rebuild_shapes",
+    "render_oracle_source",
+    "render_repro_source",
+    "reproduces",
+    "run_case",
+    "shrink",
+    "summarize",
+    "verify_entry",
+    "write_report",
+]

@@ -1,0 +1,185 @@
+"""Command-line fuzz campaign driver: ``python -m repro.fuzz``.
+
+Generates ``--programs`` seeded random programs (the hard-shape templates
+always run first), differentially checks each one against the jaxlike
+oracle, and writes a run report in the benchmark-results envelope.  The
+exit status is non-zero iff any check *failed* — recorded
+``UnsupportedFeatureError``/``AutodiffError`` skips are expected and
+land in the report's ``skip_reasons`` histogram.
+
+By default each program runs under a deterministic 8-configuration sample
+of the full ``{O0..O3} x {forward, grad, vmap, vmap_grad} x {numpy,
+cython}`` matrix (all four tiers, all four modes and both backends are
+exercised across the sample); ``--full-matrix`` runs all 32 configurations
+per program instead.
+
+Failures are minimized with the delta-debugging shrinker and — when
+``--corpus-dir`` is given — saved as corpus entries, which the regression
+suite (``tests/test_fuzz_corpus.py``) replays from then on.
+
+The CI smoke job runs::
+
+    python -m repro.fuzz --programs 200 --seed 20260807 \
+        --out benchmarks/results/fuzz_differential.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Optional
+
+from repro.fuzz.corpus import CorpusEntry
+from repro.fuzz.generate import ProgramGenerator
+from repro.fuzz.grammar import FuzzProgram
+from repro.fuzz.harness import (
+    BACKENDS,
+    MODES,
+    TIERS,
+    CaseOutcome,
+    CaseSpec,
+    Config,
+    DifferentialRunner,
+    FailureSignature,
+    SKIP_EXCEPTIONS,
+    full_matrix,
+)
+from repro.fuzz.render import render_repro_source
+from repro.fuzz.report import build_report, write_report
+from repro.fuzz.shrink import shrink
+
+#: Always-run anchors: cheapest and most aggressive tier, forward and grad.
+_ANCHORS = (
+    Config("O0", "forward", "numpy"),
+    Config("O3", "forward", "numpy"),
+    Config("O0", "grad", "numpy"),
+    Config("O3", "grad", "numpy"),
+)
+
+
+def sample_configs(rng: random.Random) -> list[Config]:
+    """A deterministic 8-config sample: the four numpy anchors, one vmap and
+    one vmap∘grad draw, and two native-backend draws."""
+    configs = list(_ANCHORS)
+    configs.append(Config(rng.choice(TIERS), "vmap", "numpy"))
+    configs.append(Config(rng.choice(TIERS), "vmap_grad", "numpy"))
+    configs.append(Config(rng.choice(TIERS), "forward", "cython"))
+    configs.append(Config(rng.choice(TIERS), rng.choice(MODES), "cython"))
+    seen = set()
+    unique = []
+    for config in configs:
+        if config not in seen:
+            seen.add(config)
+            unique.append(config)
+    return unique
+
+
+def run_program(program: FuzzProgram, configs: list[Config],
+                ) -> list[CaseOutcome]:
+    """All outcomes for one program (a build failure fails every config)."""
+    spec = CaseSpec.from_program(program)
+    try:
+        runner = DifferentialRunner(spec)
+    except SKIP_EXCEPTIONS as exc:
+        return [CaseOutcome(program=program.name, config=config, status="skip",
+                            reason=f"{type(exc).__name__}: {exc}",
+                            error_type=type(exc).__name__)
+                for config in configs]
+    except Exception as exc:  # noqa: BLE001 - build crashes are findings
+        return [CaseOutcome(program=program.name, config=config, status="fail",
+                            reason=f"build-error: {exc}",
+                            error_type=type(exc).__name__)
+                for config in configs]
+    return [runner.run(config) for config in configs]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzz campaign against the jaxlike oracle.",
+    )
+    parser.add_argument("--programs", type=int, default=200,
+                        help="number of programs (templates included)")
+    parser.add_argument("--seed", type=int, default=20260807,
+                        help="generator seed (fully determines the run)")
+    parser.add_argument("--full-matrix", action="store_true",
+                        help="run all 32 configurations per program")
+    parser.add_argument("--out", default=None,
+                        help="write the run report JSON here")
+    parser.add_argument("--corpus-dir", default=None,
+                        help="save minimized failures as corpus entries here")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing failures")
+    parser.add_argument("--max-failures", type=int, default=5,
+                        help="stop shrinking/reporting detail after this many")
+    args = parser.parse_args(argv)
+
+    generator = ProgramGenerator(args.seed)
+    programs = generator.generate(args.programs)
+    matrix = list(full_matrix())
+    started = time.time()
+    outcomes: list[CaseOutcome] = []
+    failures: list[tuple[FuzzProgram, CaseOutcome]] = []
+
+    for index, program in enumerate(programs):
+        if args.full_matrix:
+            configs = matrix
+        else:
+            configs = sample_configs(random.Random(args.seed * 7 + index))
+        for outcome in run_program(program, configs):
+            outcomes.append(outcome)
+            if outcome.status == "fail":
+                failures.append((program, outcome))
+        if (index + 1) % 25 == 0 or index + 1 == len(programs):
+            counts = {"ok": 0, "skip": 0, "fail": 0}
+            for outcome in outcomes:
+                counts[outcome.status] += 1
+            print(f"[{index + 1}/{len(programs)}] "
+                  f"ok={counts['ok']} skip={counts['skip']} "
+                  f"fail={counts['fail']}", flush=True)
+
+    elapsed = time.time() - started
+    shrunk_info = []
+    for program, outcome in failures[:args.max_failures]:
+        print(f"\nFAIL {program.name} @ {outcome.config.label()}: "
+              f"{outcome.reason}")
+        minimized = program
+        if not args.no_shrink:
+            result = shrink(program, FailureSignature.of(outcome))
+            minimized = result.program
+            print(f"  shrunk {result.original_statements} -> "
+                  f"{result.statements} statements "
+                  f"({result.candidates_tried} candidates)")
+        print(render_repro_source(minimized))
+        if args.corpus_dir:
+            entry = CorpusEntry.from_program(
+                minimized,
+                description=f"fuzzer catch: {outcome.reason}",
+                origin=(f"python -m repro.fuzz --seed {args.seed} "
+                        f"--programs {args.programs}"),
+                configs=[outcome.config.label()],
+            )
+            path = entry.save(args.corpus_dir)
+            print(f"  corpus entry written: {path}")
+            shrunk_info.append({"program": program.name, "entry": str(path)})
+
+    report = build_report(
+        seed=args.seed, program_count=len(programs), outcomes=outcomes,
+        elapsed_seconds=elapsed, full_matrix=args.full_matrix,
+        extra={"shrunk": shrunk_info} if shrunk_info else None,
+    )
+    if args.out:
+        path = write_report(args.out, report)
+        print(f"\nreport written: {path}")
+    counts = report["counts"]
+    print(f"\n{report['program_count']} programs, {report['checks']} checks: "
+          f"{counts['ok']} ok, {counts['skip']} skip "
+          f"({len(report['skip_reasons'])} distinct reasons), "
+          f"{counts['fail']} fail in {elapsed:.1f}s")
+    return 1 if counts["fail"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""Render a :class:`~repro.fuzz.grammar.FuzzProgram` to executable forms.
+
+Two renderings per program, sharing the statement structure but *nothing*
+of the execution stack:
+
+* :func:`render_repro_source` — the imperative NumPy function the repro
+  frontend parses (slice assignment mutates arrays, ``np.`` intrinsics).
+  :func:`build_sdfg` lowers that source through
+  :class:`~repro.frontend.parser.ProgramParser` directly (no ``inspect``
+  round-trip), so generated sources never need to exist on disk.
+* :func:`render_oracle_source` — the purely functional twin executed by the
+  :mod:`repro.baselines.jaxlike` baseline: ``jnp.`` intrinsics,
+  ``A = A.at[...].set(...)`` updates, symbol sizes as keyword arguments.
+  :func:`build_oracle` ``exec``s it and returns the callable; grad/vmap
+  oracle values come from ``jaxlike.grad`` / ``jaxlike.vmap`` on top.
+
+Keeping both renderings next to each other in one module makes the
+correspondence reviewable line by line — the whole differential-testing
+argument rests on these two translations being faithful to one grammar.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import jaxlike
+from repro.baselines.jaxlike import numpy_api as jnp
+from repro.frontend.annotations import ArraySpec, DTypeSpec
+from repro.frontend.parser import ProgramParser
+from repro.fuzz.grammar import (
+    ArgSpec,
+    Bin,
+    Cmp,
+    ExprNode,
+    FuzzProgram,
+    Lit,
+    MatMul,
+    Reduce,
+    Ref,
+    SAssign,
+    SFor,
+    SIf,
+    SliceRead,
+    SReturn,
+    SSliceWrite,
+    StmtNode,
+    Transpose,
+    Un,
+    Where,
+    Zeros,
+    dim_text,
+    items_text,
+)
+from repro.ir import SDFG
+from repro.symbolic import Sym
+
+_INDENT = "    "
+
+
+# ------------------------------------------------------------- expressions
+def _render_expr(expr: ExprNode, module: str) -> str:
+    """Render one expression tree; ``module`` is ``"np"`` or ``"jnp"``."""
+    if isinstance(expr, Lit):
+        return repr(expr.value)
+    if isinstance(expr, Ref):
+        return expr.name
+    if isinstance(expr, SliceRead):
+        return f"{expr.name}[{items_text(expr.items)}]"
+    if isinstance(expr, Un):
+        inner = _render_expr(expr.x, module)
+        if expr.fn == "-":
+            return f"(-{inner})"
+        return f"{module}.{expr.fn}({inner})"
+    if isinstance(expr, (Bin, Cmp)):
+        a = _render_expr(expr.a, module)
+        b = _render_expr(expr.b, module)
+        if expr.op in ("maximum", "minimum"):
+            return f"{module}.{expr.op}({a}, {b})"
+        return f"({a} {expr.op} {b})"
+    if isinstance(expr, Where):
+        cond = _render_expr(expr.cond, module)
+        a = _render_expr(expr.a, module)
+        b = _render_expr(expr.b, module)
+        return f"{module}.where({cond}, {a}, {b})"
+    if isinstance(expr, Reduce):
+        inner = _render_expr(expr.x, module)
+        args = [inner]
+        if expr.axis is not None:
+            args.append(f"axis={expr.axis}")
+        if expr.keepdims:
+            args.append("keepdims=True")
+        return f"{module}.{expr.fn}({', '.join(args)})"
+    if isinstance(expr, MatMul):
+        a = _render_expr(expr.a, module)
+        b = _render_expr(expr.b, module)
+        return f"({a} @ {b})"
+    if isinstance(expr, Transpose):
+        inner = _render_expr(expr.x, module)
+        if isinstance(expr.x, Ref):
+            return f"{inner}.T"
+        return f"({inner}).T"
+    if isinstance(expr, Zeros):
+        dims = ", ".join(dim_text(d) for d in expr.shape)
+        return f"{module}.zeros(({dims}{',' if len(expr.shape) == 1 else ''}))"
+    raise TypeError(f"Unknown expression node {expr!r}")
+
+
+# -------------------------------------------------------------- statements
+def _render_body(body: list[StmtNode], module: str, functional: bool,
+                 depth: int) -> list[str]:
+    pad = _INDENT * depth
+    lines: list[str] = []
+    for stmt in body:
+        if isinstance(stmt, SAssign):
+            lines.append(f"{pad}{stmt.target} = {_render_expr(stmt.expr, module)}")
+        elif isinstance(stmt, SSliceWrite):
+            window = items_text(stmt.items)
+            value = _render_expr(stmt.expr, module)
+            if functional:
+                method = "add" if stmt.accumulate else "set"
+                lines.append(
+                    f"{pad}{stmt.target} = {stmt.target}.at[{window}].{method}({value})"
+                )
+            else:
+                op = "+=" if stmt.accumulate else "="
+                lines.append(f"{pad}{stmt.target}[{window}] {op} {value}")
+        elif isinstance(stmt, SFor):
+            stop = str(stmt.stop)
+            header = (f"range({stop})" if stmt.start == 0
+                      else f"range({stmt.start}, {stop})")
+            lines.append(f"{pad}for {stmt.var} in {header}:")
+            lines.extend(_render_body(stmt.body, module, functional, depth + 1))
+        elif isinstance(stmt, SIf):
+            lines.append(f"{pad}if {_render_expr(stmt.cond, module)}:")
+            lines.extend(_render_body(stmt.then_body, module, functional, depth + 1))
+            if stmt.else_body:
+                lines.append(f"{pad}else:")
+                lines.extend(_render_body(stmt.else_body, module, functional, depth + 1))
+        elif isinstance(stmt, SReturn):
+            lines.append(f"{pad}return {_render_expr(stmt.expr, module)}")
+        else:
+            raise TypeError(f"Unknown statement {stmt!r}")
+    return lines
+
+
+def _annotation(arg: ArgSpec, dtype: str) -> str:
+    if not arg.is_array:
+        return f"repro.{dtype}"
+    dims = ", ".join(dim_text(d) for d in arg.shape)
+    return f"repro.{dtype}[{dims}]"
+
+
+def render_repro_source(program: FuzzProgram) -> str:
+    """The imperative (frontend) rendering, as a complete function def."""
+    params = ", ".join(
+        f"{arg.name}: {_annotation(arg, program.dtype)}" for arg in program.args
+    )
+    lines = [f"def {program.name}({params}):"]
+    lines.extend(_render_body(program.body, "np", functional=False, depth=1))
+    return "\n".join(lines) + "\n"
+
+
+def render_oracle_source(program: FuzzProgram) -> str:
+    """The functional (jaxlike) rendering; symbols become keyword-only args."""
+    params = ", ".join(arg.name for arg in program.args)
+    if program.symbols:
+        params += ", *, " + ", ".join(sorted(program.symbols))
+    lines = [f"def {program.name}__oracle({params}):"]
+    lines.extend(_render_body(program.body, "jnp", functional=True, depth=1))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------- builders
+def arg_annotations(args: list[ArgSpec], dtype: str) -> dict[str, object]:
+    """ProgramParser argument specs for a rendered program."""
+    np_dtype = np.dtype(dtype)
+    specs: dict[str, object] = {}
+    for arg in args:
+        if arg.is_array:
+            shape = tuple(
+                Sym(base) + offset if base is not None and offset != 0
+                else (Sym(base) if base is not None else offset)
+                for base, offset in arg.shape
+            )
+            specs[arg.name] = ArraySpec(np_dtype, shape)
+        else:
+            specs[arg.name] = DTypeSpec(np_dtype)
+    return specs
+
+
+def build_sdfg(source: str, args: list[ArgSpec], dtype: str,
+               name: str = "fuzz_program") -> SDFG:
+    """Lower rendered repro source to an SDFG via :class:`ProgramParser`.
+
+    This is :func:`repro.frontend.parse_function` minus the ``inspect``
+    machinery, so sources that only ever existed as strings (generated or
+    loaded from the corpus) lower identically to decorated functions.
+    """
+    tree = ast.parse(textwrap.dedent(source))
+    func_defs = [node for node in tree.body if isinstance(node, ast.FunctionDef)]
+    if not func_defs:
+        raise ValueError("Rendered source contains no function definition")
+    func_ast = func_defs[0]
+    func_ast.decorator_list = []
+    parser = ProgramParser(name, arg_annotations(args, dtype))
+    sdfg = parser.parse_function(func_ast)
+    sdfg.return_name = parser.return_name  # type: ignore[attr-defined]
+    return sdfg
+
+
+def build_oracle(source: str) -> Callable:
+    """``exec`` rendered oracle source with the jaxlike bindings in scope."""
+    namespace: dict[str, object] = {"jnp": jnp, "jaxlike": jaxlike, "np": np}
+    code = compile(textwrap.dedent(source), "<fuzz-oracle>", "exec")
+    exec(code, namespace)  # noqa: S102 - our own rendered source
+    functions = [value for key, value in namespace.items()
+                 if callable(value) and key not in ("jnp", "jaxlike", "np")]
+    if len(functions) != 1:
+        raise ValueError("Oracle source must define exactly one function")
+    return functions[0]
+
+
+__all__ = [
+    "arg_annotations",
+    "build_oracle",
+    "build_sdfg",
+    "render_oracle_source",
+    "render_repro_source",
+]

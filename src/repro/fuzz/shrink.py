@@ -1,0 +1,224 @@
+"""Delta-debugging shrinker: minimise a failing program, keep the failure.
+
+Given a :class:`~repro.fuzz.grammar.FuzzProgram` and the
+:class:`~repro.fuzz.harness.FailureSignature` it triggers, :func:`shrink`
+greedily applies structural reductions and keeps any candidate that (a) is
+still a valid program (:func:`~repro.fuzz.grammar.rebuild_shapes` accepts
+it) and (b) still fails the same way (same configuration, same error type —
+the :func:`~repro.fuzz.harness.reproduces` predicate).  Passes run to a
+fixed point:
+
+1. **Statement deletion** — drop one statement at a time (returns are kept).
+2. **Control-flow unwrapping** — replace a ``for``/``if`` with one of its
+   bodies, removing the region boundary while keeping its effects.
+3. **Expression hoisting** — replace a statement's expression by one of its
+   own subexpressions (transitively reaches every subtree).
+4. **Leaf simplification** — replace an expression by a same-shape argument
+   reference or a literal.
+5. **Argument dropping** — remove arguments no surviving statement reads.
+
+Candidates are tried smallest-edit-last (deletions first), each accepted
+candidate restarts the pass list, and ``max_candidates`` bounds the total
+predicate evaluations, so shrinking always terminates.  The predicate is
+injectable for tests; the default replays the failure through the real
+differential harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.fuzz.grammar import (
+    ExprNode,
+    FuzzProgram,
+    Lit,
+    Ref,
+    SAssign,
+    SFor,
+    SIf,
+    SReturn,
+    SSliceWrite,
+    StmtNode,
+    children,
+    rebuild_shapes,
+    refs_in,
+)
+from repro.fuzz.harness import FailureSignature, reproduces
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    program: FuzzProgram
+    original_statements: int
+    statements: int
+    candidates_tried: int
+    rounds: int
+
+
+def _statement_lists(body: list[StmtNode]) -> Iterator[list[StmtNode]]:
+    """Every mutable statement list in a body (the body itself included)."""
+    yield body
+    for stmt in body:
+        if isinstance(stmt, SFor):
+            yield from _statement_lists(stmt.body)
+        elif isinstance(stmt, SIf):
+            yield from _statement_lists(stmt.then_body)
+            yield from _statement_lists(stmt.else_body)
+
+
+def _subexpressions(expr: ExprNode) -> Iterator[ExprNode]:
+    """All *strict* subexpressions, shallowest first."""
+    queue = list(children(expr))
+    while queue:
+        node = queue.pop(0)
+        yield node
+        queue.extend(children(node))
+
+
+def _expr_slots(body: list[StmtNode]) -> Iterator[tuple[StmtNode, str]]:
+    """(statement, attribute) pairs holding a replaceable expression."""
+    for stmts in _statement_lists(body):
+        for stmt in stmts:
+            if isinstance(stmt, (SAssign, SSliceWrite, SReturn)):
+                yield stmt, "expr"
+
+
+def _candidates(program: FuzzProgram) -> Iterator[FuzzProgram]:
+    """All one-edit reductions of ``program`` (cheapest structural first).
+
+    Each candidate is an independent deep copy; the caller validates it with
+    :func:`rebuild_shapes` and the failure predicate.
+    """
+
+    # 1. Delete one statement (never a return).
+    for list_index, stmts in enumerate(_statement_lists(program.body)):
+        for stmt_index, stmt in enumerate(stmts):
+            if isinstance(stmt, SReturn):
+                continue
+            candidate = program.copy()
+            lists = list(_statement_lists(candidate.body))
+            del lists[list_index][stmt_index]
+            yield candidate
+
+    # 2. Unwrap control flow: splice a region body into its parent list.
+    for list_index, stmts in enumerate(_statement_lists(program.body)):
+        for stmt_index, stmt in enumerate(stmts):
+            arms: list[list[StmtNode]]
+            if isinstance(stmt, SFor):
+                arms = [stmt.body]
+            elif isinstance(stmt, SIf):
+                arms = [stmt.then_body, stmt.else_body]
+            else:
+                continue
+            for arm_index in range(len(arms)):
+                candidate = program.copy()
+                lists = list(_statement_lists(candidate.body))
+                target = lists[list_index][stmt_index]
+                arm = ([target.body] if isinstance(target, SFor)
+                       else [target.then_body, target.else_body])[arm_index]
+                lists[list_index][stmt_index:stmt_index + 1] = arm
+                yield candidate
+
+    # 3. Hoist a subexpression over its parent tree.
+    for slot_index, (stmt, attr) in enumerate(_expr_slots(program.body)):
+        expr = getattr(stmt, attr)
+        for sub_index, _ in enumerate(_subexpressions(expr)):
+            candidate = program.copy()
+            slots = list(_expr_slots(candidate.body))
+            cand_stmt, cand_attr = slots[slot_index]
+            subs = list(_subexpressions(getattr(cand_stmt, cand_attr)))
+            setattr(cand_stmt, cand_attr, subs[sub_index])
+            yield candidate
+
+    # 4. Replace an expression with a same-shape argument ref or a literal.
+    replacement_names = [arg.name for arg in program.args]
+    for slot_index, (stmt, attr) in enumerate(_expr_slots(program.body)):
+        expr = getattr(stmt, attr)
+        simple = (isinstance(expr, (Ref, Lit)))
+        if simple:
+            continue
+        for name in itertools.chain(replacement_names, [None]):
+            candidate = program.copy()
+            slots = list(_expr_slots(candidate.body))
+            cand_stmt, cand_attr = slots[slot_index]
+            setattr(cand_stmt, cand_attr,
+                    Ref(name) if name is not None else Lit(0.75))
+            yield candidate
+
+    # 5. Drop arguments nothing reads any more.
+    used: set[str] = set()
+    for stmts in _statement_lists(program.body):
+        for stmt in stmts:
+            if isinstance(stmt, (SAssign, SSliceWrite, SReturn)):
+                used |= refs_in(stmt.expr)
+            if isinstance(stmt, SSliceWrite):
+                used.add(stmt.target)
+            if isinstance(stmt, SIf):
+                used |= refs_in(stmt.cond)
+    for arg_index, arg in enumerate(program.args):
+        if arg.name in used:
+            continue
+        candidate = program.copy()
+        del candidate.args[arg_index]
+        yield candidate
+
+
+def _is_valid(candidate: FuzzProgram) -> bool:
+    try:
+        rebuild_shapes(candidate)
+    except (ValueError, TypeError):
+        return False
+    return True
+
+
+def shrink(
+    program: FuzzProgram,
+    signature: FailureSignature,
+    *,
+    batch: int = 2,
+    max_candidates: int = 3000,
+    predicate: Optional[Callable[[FuzzProgram], bool]] = None,
+) -> ShrinkResult:
+    """Greedy fixed-point minimisation of a failing program.
+
+    ``predicate`` defaults to replaying ``signature`` through the
+    differential harness; tests may inject a cheaper one.  The returned
+    program still satisfies the predicate (the input program is returned
+    unchanged if it somehow does not).
+    """
+    if predicate is None:
+        def predicate(candidate: FuzzProgram) -> bool:
+            return reproduces(candidate, signature, batch=batch)
+
+    current = program.copy()
+    original = current.statement_count()
+    tried = 0
+    rounds = 0
+    improved = True
+    while improved and tried < max_candidates:
+        improved = False
+        rounds += 1
+        for candidate in _candidates(current):
+            tried += 1
+            if tried >= max_candidates:
+                break
+            if not _is_valid(candidate):
+                continue
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break  # restart the pass list on the smaller program
+    return ShrinkResult(
+        program=current,
+        original_statements=original,
+        statements=current.statement_count(),
+        candidates_tried=tried,
+        rounds=rounds,
+    )
+
+
+__all__ = ["ShrinkResult", "shrink"]

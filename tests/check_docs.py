@@ -44,6 +44,7 @@ DOCUMENTED_PACKAGES = (
     "src/repro/batching",
     "src/repro/codegen",
     "src/repro/codegen/cython_backend",
+    "src/repro/fuzz",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

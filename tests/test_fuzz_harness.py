@@ -1,0 +1,169 @@
+"""The differential harness and shrinker: ok/skip/fail semantics, injected
+faults, and delta-debugging minimization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.jaxlike import numpy_api
+from repro.fuzz import (
+    CaseSpec,
+    Config,
+    DifferentialRunner,
+    FailureSignature,
+    ProgramGenerator,
+    full_matrix,
+    hard_templates,
+    render_repro_source,
+    reproduces,
+    run_case,
+    shrink,
+)
+from repro.fuzz.grammar import SAssign, Un, iter_statements, walk
+
+
+def _template(name):
+    return next(p for p in hard_templates() if p.name == name)
+
+
+class TestMatrix:
+    def test_full_matrix_covers_all_dimensions(self):
+        configs = full_matrix()
+        assert len(configs) == 32
+        assert len(set(configs)) == 32
+        assert {c.tier for c in configs} == {"O0", "O1", "O2", "O3"}
+        assert {c.mode for c in configs} == {"forward", "grad", "vmap",
+                                             "vmap_grad"}
+        assert {c.backend for c in configs} == {"numpy", "cython"}
+
+
+class TestOutcomes:
+    def test_agreeing_program_is_ok_everywhere(self):
+        spec = CaseSpec.from_program(_template("seed_shared_operand_chain"))
+        outcomes = run_case(spec, [
+            Config("O0", "forward", "numpy"), Config("O3", "forward", "numpy"),
+            Config("O3", "grad", "numpy"), Config("O2", "vmap", "numpy"),
+            Config("O1", "vmap_grad", "numpy"),
+        ])
+        assert [o.status for o in outcomes] == ["ok"] * 5
+
+    def test_data_branch_skips_under_vmap_with_reason(self):
+        """Per-sample control flow is declined, not silently miscompiled."""
+        spec = CaseSpec.from_program(_template("seed_data_branch"))
+        runner = DifferentialRunner(spec)
+        forward = runner.run(Config("O2", "forward", "numpy"))
+        assert forward.status == "ok"
+        vmapped = runner.run(Config("O2", "vmap", "numpy"))
+        assert vmapped.status == "skip"
+        assert vmapped.error_type == "UnsupportedFeatureError"
+        assert "batched data" in vmapped.reason
+
+    def test_skip_outcomes_always_carry_a_reason(self):
+        spec = CaseSpec.from_program(_template("seed_data_branch"))
+        for outcome in run_case(spec):
+            if outcome.status == "skip":
+                assert outcome.reason, outcome.config.label()
+
+    def test_outcome_serialization_round_trips_the_label(self):
+        spec = CaseSpec.from_program(_template("seed_float32_elementwise"))
+        outcome = DifferentialRunner(spec).run(Config("O1", "forward", "numpy"))
+        payload = outcome.to_dict()
+        assert payload["config"] == "O1/forward/numpy"
+        assert payload["status"] == "ok"
+
+    def test_float32_uses_loosened_tolerance(self):
+        spec = CaseSpec.from_program(_template("seed_float32_elementwise"))
+        assert spec.tolerance == 1e-4
+        spec64 = CaseSpec.from_program(_template("seed_smooth_chain"))
+        assert spec64.tolerance == 1e-9
+
+
+class TestInjectedFault:
+    """End-to-end: corrupt one primitive, catch it, minimize the catch."""
+
+    @pytest.fixture()
+    def broken_tanh(self, monkeypatch):
+        real = numpy_api.tanh
+        monkeypatch.setattr(numpy_api, "tanh", lambda x: real(x) * 1.001)
+        return real
+
+    def _program_with_tanh(self):
+        generator = ProgramGenerator(77)
+        while True:
+            program = generator.random_program()
+            if ("np.tanh" in render_repro_source(program)
+                    and program.statement_count() >= 8):
+                return program
+
+    def test_divergence_is_detected(self, broken_tanh):
+        program = self._program_with_tanh()
+        outcome = DifferentialRunner(CaseSpec.from_program(program)).run(
+            Config("O0", "forward", "numpy"))
+        assert outcome.status == "fail"
+        assert outcome.error_type == "Divergence"
+        assert outcome.max_err > 0
+
+    def test_reproduces_predicate_tracks_the_fault(self, broken_tanh):
+        program = self._program_with_tanh()
+        config = Config("O0", "forward", "numpy")
+        outcome = DifferentialRunner(CaseSpec.from_program(program)).run(config)
+        signature = FailureSignature.of(outcome)
+        assert reproduces(program, signature)
+
+    def test_shrinker_minimizes_to_small_repro(self, broken_tanh):
+        """The acceptance bar: an injected fault shrinks to <= 10 statements
+        and the minimized program still contains the faulty primitive."""
+        program = self._program_with_tanh()
+        config = Config("O0", "forward", "numpy")
+        outcome = DifferentialRunner(CaseSpec.from_program(program)).run(config)
+        assert outcome.status == "fail"
+        result = shrink(program, FailureSignature.of(outcome))
+        assert result.statements <= 10
+        assert result.statements < result.original_statements
+        assert "np.tanh" in render_repro_source(result.program)
+        # The minimized program still reproduces the divergence.
+        assert reproduces(result.program, FailureSignature.of(outcome))
+
+    def test_fault_disappears_after_revert(self):
+        program = self._program_with_tanh()
+        outcome = DifferentialRunner(CaseSpec.from_program(program)).run(
+            Config("O0", "forward", "numpy"))
+        assert outcome.status == "ok"
+
+
+class TestShrinkPasses:
+    def test_shrink_with_cheap_predicate_reaches_minimal_form(self):
+        """With a pure structural predicate ("program contains exp"), the
+        shrinker strips everything else."""
+        program = _template("seed_branch_between_producer_consumer")
+
+        def has_exp(candidate):
+            for stmt in iter_statements(candidate.body):
+                if isinstance(stmt, SAssign):
+                    if any(isinstance(node, Un) and node.fn == "exp"
+                           for node in walk(stmt.expr)):
+                        return True
+            return False
+
+        signature = FailureSignature(Config("O0", "forward", "numpy"),
+                                     "Divergence")
+        result = shrink(program, signature, predicate=has_exp)
+        assert has_exp(result.program)
+        assert result.statements <= 2  # the exp assign and the return
+
+    def test_shrink_returns_program_unchanged_when_nothing_helps(self):
+        program = _template("seed_float32_elementwise")
+        signature = FailureSignature(Config("O0", "forward", "numpy"),
+                                     "Divergence")
+        result = shrink(program, signature, predicate=lambda c: False)
+        assert result.statements == program.statement_count()
+
+
+class TestSharedData:
+    def test_batched_data_has_leading_batch_axis(self):
+        spec = CaseSpec.from_program(_template("seed_smooth_chain"), batch=3)
+        data = spec.make_batched_data()
+        plain = spec.make_data()
+        for arg in spec.args:
+            if arg.is_array:
+                assert np.asarray(data[arg.name]).shape == \
+                    (3,) + np.asarray(plain[arg.name]).shape
