@@ -51,6 +51,7 @@ class GradientFunction:
         cache=None,
         extra_passes: Sequence = (),
         backend: Optional[str] = None,
+        memory_planning: Optional[bool] = None,
     ) -> None:
         from repro.pipeline.driver import compile_gradient
 
@@ -68,6 +69,7 @@ class GradientFunction:
             "cache": cache,
             "extra_passes": tuple(extra_passes),
             "backend": backend,
+            "memory_planning": memory_planning,
         }
         outcome = compile_gradient(
             self.forward_sdfg,
@@ -80,6 +82,7 @@ class GradientFunction:
             cache=cache,
             extra_passes=extra_passes,
             backend=backend,
+            memory_planning=memory_planning,
         )
         self.result: BackwardPassResult = outcome.artifacts["backward"]
         self.wrt = list(self.result.gradient_names)
@@ -118,7 +121,8 @@ class GradientFunction:
 
 
 def grad(func_or_program, wrt=None, strategy=None, output=None,
-         optimize: str = "O1", backend: Optional[str] = None) -> GradientFunction:
+         optimize: str = "O1", backend: Optional[str] = None,
+         memory_planning: Optional[bool] = None) -> GradientFunction:
     """Reverse-mode gradient of a scalar-output program.
 
     Examples
@@ -133,14 +137,15 @@ def grad(func_or_program, wrt=None, strategy=None, output=None,
     """
     return GradientFunction(
         func_or_program, wrt=wrt, strategy=strategy, output=output, optimize=optimize,
-        backend=backend,
+        backend=backend, memory_planning=memory_planning,
     )
 
 
 def value_and_grad(func_or_program, wrt=None, strategy=None, output=None,
-                   optimize: str = "O1", backend: Optional[str] = None) -> GradientFunction:
+                   optimize: str = "O1", backend: Optional[str] = None,
+                   memory_planning: Optional[bool] = None) -> GradientFunction:
     """Like :func:`grad` but also returns the forward value."""
     return GradientFunction(
         func_or_program, wrt=wrt, strategy=strategy, return_value=True, output=output,
-        optimize=optimize, backend=backend,
+        optimize=optimize, backend=backend, memory_planning=memory_planning,
     )

@@ -57,32 +57,27 @@ def _element_transients(sdfg: SDFG, element) -> set[str]:
 
 def _liveness(sdfg: SDFG, data: str) -> tuple[int, int]:
     """(first definition index, last access index) at top-level granularity."""
-    elements = list(sdfg.root.elements)
-    first_def = None
-    last_access = 0
-    for index, element in enumerate(elements):
-        if first_def is None and data in set(element.written_data()):
-            first_def = index
-        if data in set(element.read_data()) or data in set(element.written_data()):
-            last_access = index
-    return (first_def if first_def is not None else 0, last_access)
+    from repro.passes.liveness import top_level_uses
+
+    use = top_level_uses(sdfg).get(data)
+    if use is None:
+        return (0, 0)
+    return (use.first_write, use.last_access)
 
 
 def _candidate_positions(sdfg: SDFG, candidates: Sequence[RematCandidate]) -> dict[str, tuple[int, int]]:
     """(definition index, last forward use index) of each candidate at
     top-level granularity."""
-    elements = list(sdfg.root.elements)
+    from repro.passes.liveness import top_level_uses
+
+    uses = top_level_uses(sdfg)
     positions: dict[str, tuple[int, int]] = {}
     for candidate in candidates:
-        data = candidate.data
-        def_index = None
-        last_use = 0
-        for index, element in enumerate(elements):
-            if def_index is None and data in set(element.written_data()):
-                def_index = index
-            if data in set(element.read_data()):
-                last_use = index
-        positions[candidate.key] = (def_index if def_index is not None else 0, last_use)
+        use = uses.get(candidate.data)
+        if use is None:
+            positions[candidate.key] = (0, 0)
+        else:
+            positions[candidate.key] = (use.first_write, use.last_read)
     return positions
 
 

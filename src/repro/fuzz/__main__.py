@@ -11,7 +11,10 @@ By default each program runs under a deterministic 8-configuration sample
 of the full ``{O0..O3} x {forward, grad, vmap, vmap_grad} x {numpy,
 cython}`` matrix (all four tiers, all four modes and both backends are
 exercised across the sample); ``--full-matrix`` runs all 32 configurations
-per program instead.
+per program instead.  ``--planning`` doubles the configuration set by
+running every sampled configuration once with memory planning forced on
+and once forced off — a planner bug then shows up as a plan-on divergence
+against the same oracle value.
 
 Failures are minimized with the delta-debugging shrinker and — when
 ``--corpus-dir`` is given — saved as corpus entries, which the regression
@@ -26,6 +29,7 @@ The CI smoke job runs::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import random
 import sys
 import time
@@ -76,6 +80,16 @@ def sample_configs(rng: random.Random) -> list[Config]:
     return unique
 
 
+def with_planning_dimension(configs: list[Config]) -> list[Config]:
+    """Duplicate every configuration with memory planning forced on and
+    forced off (the ``--planning`` differential dimension)."""
+    expanded = []
+    for config in configs:
+        expanded.append(dataclasses.replace(config, planning=True))
+        expanded.append(dataclasses.replace(config, planning=False))
+    return expanded
+
+
 def run_program(program: FuzzProgram, configs: list[Config],
                 ) -> list[CaseOutcome]:
     """All outcomes for one program (a build failure fails every config)."""
@@ -106,6 +120,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="generator seed (fully determines the run)")
     parser.add_argument("--full-matrix", action="store_true",
                         help="run all 32 configurations per program")
+    parser.add_argument("--planning", action="store_true",
+                        help="run every configuration with memory planning "
+                             "forced on AND forced off")
     parser.add_argument("--out", default=None,
                         help="write the run report JSON here")
     parser.add_argument("--corpus-dir", default=None,
@@ -128,6 +145,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             configs = matrix
         else:
             configs = sample_configs(random.Random(args.seed * 7 + index))
+        if args.planning:
+            configs = with_planning_dimension(configs)
         for outcome in run_program(program, configs):
             outcomes.append(outcome)
             if outcome.status == "fail":
@@ -165,10 +184,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"  corpus entry written: {path}")
             shrunk_info.append({"program": program.name, "entry": str(path)})
 
+    extra = {}
+    if shrunk_info:
+        extra["shrunk"] = shrunk_info
+    if args.planning:
+        extra["planning_dimension"] = True
     report = build_report(
         seed=args.seed, program_count=len(programs), outcomes=outcomes,
         elapsed_seconds=elapsed, full_matrix=args.full_matrix,
-        extra={"shrunk": shrunk_info} if shrunk_info else None,
+        extra=extra or None,
     )
     if args.out:
         path = write_report(args.out, report)

@@ -51,9 +51,17 @@ def default_corpus_dir() -> Path:
 
 
 def parse_config(label: str) -> Config:
-    """Inverse of :meth:`Config.label` (``"O3/grad/numpy"``)."""
-    tier, mode, backend = label.split("/")
-    return Config(tier, mode, backend)
+    """Inverse of :meth:`Config.label` (``"O3/grad/numpy"``, optionally with
+    a fourth ``plan-on``/``plan-off`` segment)."""
+    parts = label.split("/")
+    planning = None
+    if len(parts) == 4:
+        if parts[3] not in ("plan-on", "plan-off"):
+            raise ValueError(f"Unknown planning segment in config {label!r}")
+        planning = parts[3] == "plan-on"
+        parts = parts[:3]
+    tier, mode, backend = parts
+    return Config(tier, mode, backend, planning)
 
 
 @dataclass

@@ -5,6 +5,10 @@ A configuration is one point of the matrix
 
     {O0, O1, O2, O3} x {forward, grad, vmap, vmap_grad} x {numpy, cython}
 
+optionally crossed with the memory-planning knob (``--planning`` duplicates
+every configuration with planning forced on and forced off, so a buffer-reuse
+bug shows up as a plan-on/plan-off divergence against the same oracle).
+
 For each configuration the program is compiled through the real pipeline
 (:func:`repro.pipeline.compile_forward`, :class:`~repro.autodiff.api.
 GradientFunction`, :func:`repro.vmap`) and executed on seeded random data;
@@ -69,14 +73,22 @@ except ImportError:  # pragma: no cover
 
 @dataclass(frozen=True)
 class Config:
-    """One point of the differential matrix."""
+    """One point of the differential matrix.
+
+    ``planning`` forces the memory-planning pass on (``True``) or off
+    (``False``); ``None`` keeps the tier's default (on at O2+).
+    """
 
     tier: str
     mode: str
     backend: str
+    planning: Optional[bool] = None
 
     def label(self) -> str:
-        return f"{self.tier}/{self.mode}/{self.backend}"
+        base = f"{self.tier}/{self.mode}/{self.backend}"
+        if self.planning is None:
+            return base
+        return base + ("/plan-on" if self.planning else "/plan-off")
 
 
 def full_matrix() -> tuple[Config, ...]:
@@ -276,16 +288,18 @@ class DifferentialRunner:
         """Compile and run one configuration; returns (value, fallback)."""
         spec = self.spec
         backend = config.backend if config.backend != "numpy" else None
+        planning = config.planning
         if config.mode == "forward":
             outcome = compile_forward(
-                self.sdfg, config.tier, cache=self.cache, backend=backend
+                self.sdfg, config.tier, cache=self.cache, backend=backend,
+                memory_planning=planning,
             )
             value = outcome.compiled(**_copy_data(self.data))
             return np.asarray(value), outcome.report.backend_fallback
         if config.mode == "grad":
             gf = GradientFunction(
                 self.sdfg, wrt=spec.wrt(), optimize=config.tier,
-                cache=self.cache, backend=backend,
+                cache=self.cache, backend=backend, memory_planning=planning,
             )
             raw = gf(**_copy_data(self.data))
             if not isinstance(raw, dict):
@@ -295,7 +309,8 @@ class DifferentialRunner:
         if config.mode == "vmap":
             batched = repro_vmap(self.sdfg, in_axes=spec.in_axes())
             compiled = batched.compile(
-                config.tier, cache=self.cache, backend=backend
+                config.tier, cache=self.cache, backend=backend,
+                memory_planning=planning,
             )
             value = compiled(**_copy_data(self.batched_data))
             fallback = getattr(compiled.pipeline_report, "backend_fallback", None)
@@ -303,7 +318,7 @@ class DifferentialRunner:
         if config.mode == "vmap_grad":
             gf = GradientFunction(
                 self.sdfg, wrt=spec.wrt(), optimize=config.tier,
-                cache=self.cache, backend=backend,
+                cache=self.cache, backend=backend, memory_planning=planning,
             )
             batched_gf = repro_vmap(gf, in_axes=spec.in_axes())
             raw = batched_gf(**_copy_data(self.batched_data))

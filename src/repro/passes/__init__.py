@@ -10,7 +10,15 @@
   constant-condition pruning (the paper's pre-AD cleanup of configuration
   control flow), the ``optimize="O1"`` tier.
 * :mod:`repro.passes.cse` - common-subexpression elimination: duplicate
-  element-wise maps and repeated memlet reads (``optimize="O2"``).
+  element-wise maps and repeated memlet reads, per state.
+* :mod:`repro.passes.liveness` - global program order and per-container live
+  intervals over the control-flow tree (loops, branches, loop-carried
+  values), the analysis memory planning and GVN build on.
+* :mod:`repro.passes.gvn` - global value numbering: cross-state duplicate-map
+  merging that subsumes per-state CSE (``optimize="O2"``).
+* :mod:`repro.passes.planning` - liveness-driven memory planning: coloring
+  non-overlapping transient live ranges into shared buffers, with in-place
+  map execution (``optimize="O2"``, docs/memory-planning.md).
 * :mod:`repro.passes.fusion` - map fusion: inlining element-wise producers
   into their sole consumer, eliminating materialised intermediate arrays
   (``optimize="O2"``); with a cost model also across distinct stencil
@@ -41,7 +49,15 @@ from repro.passes.flops import (
     expr_op_count,
 )
 from repro.passes.fusion import fuse_elementwise_maps
-from repro.passes.memory import container_size_bytes, total_argument_bytes, transient_footprint
+from repro.passes.gvn import GVNResult, global_value_numbering
+from repro.passes.liveness import compute_liveness, top_level_uses
+from repro.passes.memory import (
+    container_size_bytes,
+    total_argument_bytes,
+    total_transient_bytes,
+    transient_footprint,
+)
+from repro.passes.planning import MemoryPlan, apply_memory_plan, plan_memory
 from repro.passes.simplification import eliminate_dead_code, prune_constant_branches
 
 __all__ = [
@@ -56,10 +72,18 @@ __all__ = [
     "container_size_bytes",
     "transient_footprint",
     "total_argument_bytes",
+    "total_transient_bytes",
     "dedupe_connectors",
     "eliminate_common_subexpressions",
     "eliminate_dead_code",
     "fuse_elementwise_maps",
     "is_identity_elementwise_write",
     "prune_constant_branches",
+    "GVNResult",
+    "global_value_numbering",
+    "compute_liveness",
+    "top_level_uses",
+    "MemoryPlan",
+    "apply_memory_plan",
+    "plan_memory",
 ]

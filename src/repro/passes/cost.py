@@ -36,6 +36,13 @@ Knobs (:class:`CostModelConfig`)
     symbolic cost must become a number.  Decisions should be insensitive to
     it (both sides of a comparison scale with the same volumes); it exists
     so the model never needs profiling or user input to decide.
+``backward_traffic_credit``
+    Extra container passes credited to a *gradient-mode* fusion of a
+    transient the backward pass is linear in (``backward_value_uses == 0``):
+    eliminating the transient also eliminates its adjoint container in the
+    generated backward program — one accumulating write plus one read that
+    never happen (2 passes by default).  Candidates the backward pass would
+    have to *recompute* get no credit; they pay ``gradient_flops`` instead.
 
 :class:`FusionDecision` records every input of a fusion query so pipeline
 reports and tests can show *why* a fusion happened (or did not).
@@ -62,11 +69,17 @@ class CostModelConfig:
     bytes_per_flop: float = 24.0
     assignment_passes: int = 2
     default_symbol_value: int = 1024
+    backward_traffic_credit: float = 2.0
 
     def fingerprint(self) -> tuple:
         """Cache-key identity: any knob change must invalidate compilations
         whose pass decisions depended on it."""
-        return (self.bytes_per_flop, self.assignment_passes, self.default_symbol_value)
+        return (
+            self.bytes_per_flop,
+            self.assignment_passes,
+            self.default_symbol_value,
+            self.backward_traffic_credit,
+        )
 
     @classmethod
     def for_backend(cls, backend: Optional[str]) -> "CostModelConfig":
@@ -109,13 +122,16 @@ class FusionDecision:
     recompute_flops: float = 0.0
     gradient_flops: float = 0.0
     extra_read_bytes: float = 0.0
+    backward_credit_bytes: float = 0.0
     offsets: int = 1
     hoistable: bool = True
 
     def net_benefit_bytes(self, config: CostModelConfig) -> float:
-        """Saved traffic minus every modelled cost, in bytes."""
+        """Saved traffic (including any backward-pass credit) minus every
+        modelled cost, in bytes."""
         return (
             self.saved_bytes
+            + self.backward_credit_bytes
             - self.extra_read_bytes
             - (self.recompute_flops + self.gradient_flops) * config.bytes_per_flop
         )
@@ -206,6 +222,7 @@ class CostModel:
         hoistable: bool,
         backward_value_uses: int = 0,
         dim_lengths: Optional[Sequence[Expr]] = None,
+        gradient_mode: bool = False,
     ) -> FusionDecision:
         """Price inlining ``producer`` (sole writer of ``transient``) into
         ``consumer`` (its sole reader) at the given read ``offsets``.
@@ -229,6 +246,11 @@ class CostModel:
             Consumer-side iteration length per *producer* dimension (the
             producer's dims need not map onto the consumer's parameters in
             positional order); used for the union-window overhang estimate.
+        gradient_mode:
+            True when this compilation will differentiate.  A linear
+            candidate (``backward_value_uses == 0``) then earns the
+            ``backward_traffic_credit``: fusing it away also removes its
+            adjoint container from the generated backward pass.
 
         Returns (and logs) a :class:`FusionDecision`.
         """
@@ -270,6 +292,11 @@ class CostModel:
         # Gradient-awareness: a value the backward pass reads must be
         # recomputed (per element, per backward use) once it is fused away.
         gradient = float(backward_value_uses) * per_element * consumer_volume
+        # A linear candidate's adjoint container disappears with it: the
+        # backward pass saves its accumulating write plus its read.
+        backward_credit = 0.0
+        if gradient_mode and backward_value_uses == 0:
+            backward_credit = config.backward_traffic_credit * volume
 
         decision = FusionDecision(
             fuse=False,
@@ -279,6 +306,7 @@ class CostModel:
             recompute_flops=recompute,
             gradient_flops=gradient,
             extra_read_bytes=extra_reads,
+            backward_credit_bytes=backward_credit,
             offsets=n_offsets,
             hoistable=hoistable,
         )

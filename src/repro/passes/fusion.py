@@ -367,6 +367,7 @@ def _fuse_one(sdfg: SDFG, protected: set[str], cost_model,
                 offsets=offsets, hoistable=hoistable,
                 backward_value_uses=backward_uses,
                 dim_lengths=dim_lengths,
+                gradient_mode=gradient_aware,
             )
             if not decision.fuse:
                 continue

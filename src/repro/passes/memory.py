@@ -28,3 +28,27 @@ def total_argument_bytes(sdfg: SDFG, symbol_values: Mapping[str, int]) -> int:
         for desc in sdfg.arrays.values()
         if not desc.transient
     )
+
+
+def total_transient_bytes(
+    sdfg: SDFG,
+    symbol_values: Mapping[str, int] | None = None,
+    default_symbol_value: int = 1024,
+) -> int:
+    """Bytes allocated for all transient containers.
+
+    Symbols missing from ``symbol_values`` fall back to
+    ``default_symbol_value``, so the figure is computable without a concrete
+    problem size — the memory-planning benchmark compares it before/after
+    buffer reuse.
+    """
+    total = 0
+    for desc in sdfg.arrays.values():
+        if not desc.transient:
+            continue
+        env = {name: default_symbol_value for name in desc.free_symbols()}
+        for name, value in (symbol_values or {}).items():
+            if name in env and isinstance(value, (int, float)):
+                env[name] = int(value)
+        total += desc.size_bytes(env)
+    return total

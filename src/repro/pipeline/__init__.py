@@ -57,7 +57,9 @@ from repro.pipeline.stages import (
     CommonSubexpressionElimination,
     ConstantBranchPruning,
     DeadCodeElimination,
+    GlobalValueNumbering,
     MapFusion,
+    MemoryPlanning,
     Validate,
 )
 
@@ -87,7 +89,9 @@ __all__ = [
     "ConstantBranchPruning",
     "DeadCodeElimination",
     "CommonSubexpressionElimination",
+    "GlobalValueNumbering",
     "MapFusion",
+    "MemoryPlanning",
     "Validate",
     "CheckpointingSelection",
     "Autodiff",

@@ -45,39 +45,48 @@ from repro.pipeline.stages import (
     CommonSubexpressionElimination,
     ConstantBranchPruning,
     DeadCodeElimination,
+    GlobalValueNumbering,
     MapFusion,
+    MemoryPlanning,
 )
 
 #: Ordered simplification stages per optimization level.  Each entry is a
 #: pass class or ``(class, extra_kwargs)``.  ``O0`` compiles the program as
 #: written; ``O1`` is the paper's pre-AD cleanup; ``O2`` adds duplicate-work
-#: elimination (CSE) and producer/consumer map fusion; ``O3`` runs the same
+#: elimination — global value numbering, the cross-state generalisation of
+#: per-state CSE — and producer/consumer map fusion; ``O3`` runs the same
 #: stages but makes fusion *cost-model-driven* (stencil offsets fuse when
 #: the recompute-vs-traffic model pays, and gradient compiles decline
 #: fusions the backward pass would have to recompute — see
 #: repro/passes/cost.py and docs/cost-model.md).  All levels run before AD,
-#: so gradients are generated from the optimised forward SDFG.  See
-#: docs/optimization-levels.md.
+#: so gradients are generated from the optimised forward SDFG.  At O2+ the
+#: pipeline also appends liveness-driven memory planning *after* AD (see
+#: docs/memory-planning.md).  See docs/optimization-levels.md.
 OPT_LEVELS: dict[str, tuple] = {
     "O0": (),
     "O1": (ConstantBranchPruning, DeadCodeElimination),
     "O2": (
         ConstantBranchPruning,
         DeadCodeElimination,
-        CommonSubexpressionElimination,
+        GlobalValueNumbering,
         MapFusion,
     ),
     "O3": (
         ConstantBranchPruning,
         DeadCodeElimination,
-        CommonSubexpressionElimination,
+        GlobalValueNumbering,
         (MapFusion, {"cost_driven": True}),
     ),
 }
 
 #: Stages that take an ``extra_keep`` tuple of containers they must preserve
 #: even when those look dead/mergeable (gradient targets, result names).
-_KEEP_AWARE = (DeadCodeElimination, CommonSubexpressionElimination, MapFusion)
+_KEEP_AWARE = (
+    DeadCodeElimination,
+    CommonSubexpressionElimination,
+    GlobalValueNumbering,
+    MapFusion,
+)
 
 
 def to_sdfg(program) -> SDFG:
@@ -107,6 +116,7 @@ def build_pipeline(
     result_names: Optional[list[str]] = None,
     extra_passes: Sequence = (),
     backend: Optional[str] = None,
+    memory_planning: Optional[bool] = None,
 ) -> PassManager:
     """Assemble the default pipeline for one compilation request.
 
@@ -115,6 +125,10 @@ def build_pipeline(
     selects the code generator (``None`` = numpy) — it configures both the
     terminal codegen stage and, at ``"O3"``, the cost model that prices
     fusions (native loops make recompute far cheaper; see docs/backends.md).
+    ``memory_planning`` forces the liveness-driven buffer-reuse stage on or
+    off regardless of tier; the default ``None`` enables it at O2+.  The
+    stage runs after AD (gradient containers protected) and immediately
+    before codegen, and its knobs are part of the pipeline fingerprint.
     """
     if optimize not in OPT_LEVELS:
         raise PipelineError(
@@ -142,6 +156,12 @@ def build_pipeline(
     if gradient:
         passes.append(CheckpointingSelection(checkpointing))
         passes.append(Autodiff(output=output, inputs=wrt))
+    plan_memory = (
+        memory_planning if memory_planning is not None
+        else optimize in ("O2", "O3")
+    )
+    if plan_memory:
+        passes.append(MemoryPlanning(extra_keep=tuple(keep)))
     passes.append(
         Codegen(
             func_name=func_name,
@@ -250,6 +270,7 @@ def compile_forward(
     func_name: Optional[str] = None,
     result_names: Optional[list[str]] = None,
     backend: Optional[str] = None,
+    memory_planning: Optional[bool] = None,
 ) -> CompileOutcome:
     """Compile the forward program through the pipeline (cached)."""
     sdfg = to_sdfg(program)
@@ -259,6 +280,7 @@ def compile_forward(
         func_name=func_name,
         result_names=result_names,
         backend=backend,
+        memory_planning=memory_planning,
     )
     ctx = PassContext(
         symbol_values=dict(symbol_values or {}),
@@ -279,6 +301,7 @@ def compile_gradient(
     cache: Union[CompilationCache, bool, None] = None,
     extra_passes: Sequence = (),
     backend: Optional[str] = None,
+    memory_planning: Optional[bool] = None,
 ) -> CompileOutcome:
     """Compile the forward+backward program through the pipeline (cached).
 
@@ -298,6 +321,7 @@ def compile_gradient(
         return_value=return_value,
         extra_passes=extra_passes,
         backend=backend,
+        memory_planning=memory_planning,
     )
     ctx = PassContext(
         symbol_values=dict(symbol_values or {}),
@@ -329,6 +353,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
     cache: Union[CompilationCache, bool, None] = None,
     extra_passes: Sequence = (),
     backend: Optional[str] = None,
+    memory_planning: Optional[bool] = None,
 ):
     """Top-level compilation entry point (re-exported as ``repro.compile``).
 
@@ -363,6 +388,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
             cache=cache,
             extra_passes=extra_passes,
             backend=backend,
+            memory_planning=memory_planning,
         )
     outcome = compile_forward(
         program,
@@ -371,5 +397,6 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
         cache=cache,
         extra_passes=extra_passes,
         backend=backend,
+        memory_planning=memory_planning,
     )
     return outcome.compiled

@@ -8,6 +8,12 @@ frontend-to-binary flow is one ordered pipeline:
 * :class:`CommonSubexpressionElimination` / :class:`MapFusion` — the ``"O2"``
   tier: duplicate-work removal and producer/consumer map fusion, run before
   AD so both the forward and the generated backward pass benefit;
+* :class:`GlobalValueNumbering` — cross-state duplicate-map merging over the
+  liveness walk's global program order; the default O2+/O3 pipelines run it
+  in place of the per-state CSE stage (which remains available by name);
+* :class:`MemoryPlanning` — liveness-driven buffer reuse for transients,
+  run *after* AD (gradient containers protected) and just before codegen,
+  at O2+ by default;
 * :class:`CheckpointingSelection` — resolves the user's checkpointing spec
   (strategy instance or name) into the strategy the AD stage consumes;
 * :class:`Autodiff` — reverse-mode differentiation
@@ -93,6 +99,87 @@ class CommonSubexpressionElimination(Pass):
 
     def fingerprint(self) -> tuple:
         return (self.name, self.extra_keep)
+
+
+class GlobalValueNumbering(Pass):
+    """Merge duplicate element-wise maps across state boundaries (see
+    :func:`repro.passes.gvn.global_value_numbering`) — the cross-state
+    generalisation of :class:`CommonSubexpressionElimination`, which it
+    subsumes in the default O2+/O3 pipelines.
+
+    ``extra_keep`` protects containers later stages name explicitly
+    (gradient ``output``/``wrt``, codegen ``result_names``).
+    """
+
+    name = "global-value-numbering"
+
+    def __init__(self, extra_keep: Sequence[str] = ()) -> None:
+        self.extra_keep = tuple(extra_keep)
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.gvn import global_value_numbering
+
+        protect = {name for name in self.extra_keep if name in sdfg.arrays}
+        result = global_value_numbering(sdfg, protect=protect)
+        ctx.note("nodes_deduplicated", result.nodes_merged)
+        ctx.note("connectors_merged", result.connectors_merged)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self.extra_keep)
+
+
+class MemoryPlanning(Pass):
+    """Color non-overlapping transient live ranges into shared buffers (see
+    :mod:`repro.passes.planning`), cutting allocated transient bytes.
+
+    Runs *after* the AD stage so the backward program is planned too; the
+    gradient containers (and the forward value container when it is
+    returned) are derived from ``ctx.artifacts["backward"]`` and protected,
+    on top of ``extra_keep`` and the return container.  Footprint counters
+    (``planned_reuse``, ``peak_bytes_before``/``after``, ...) land in the
+    pipeline report; ``allow_inplace`` is part of the cache fingerprint.
+    """
+
+    name = "memory-planning"
+
+    def __init__(
+        self, extra_keep: Sequence[str] = (), allow_inplace: bool = True
+    ) -> None:
+        self.extra_keep = tuple(extra_keep)
+        self.allow_inplace = allow_inplace
+
+    def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
+        from repro.passes.planning import apply_memory_plan, plan_memory
+
+        protect = {name for name in self.extra_keep if name in sdfg.arrays}
+        backward = ctx.artifacts.get("backward")
+        if backward is not None:
+            protect |= {
+                name for name in backward.gradient_names.values()
+                if name in sdfg.arrays
+            }
+            if backward.output in sdfg.arrays:
+                protect.add(backward.output)
+        plan = plan_memory(
+            sdfg,
+            protect=protect,
+            symbol_values=ctx.symbol_values,
+            allow_inplace=self.allow_inplace,
+        )
+        reused = apply_memory_plan(sdfg, plan)
+        ctx.note("planned_reuse", reused)
+        ctx.note("buffers_shared",
+                 sum(1 for members in plan.buffers if len(members) > 1))
+        ctx.note("inplace_reuse", len(plan.inplace_guests))
+        ctx.note("transient_bytes_before", plan.transient_bytes_before)
+        ctx.note("transient_bytes_after", plan.transient_bytes_after)
+        ctx.note("peak_bytes_before", plan.peak_bytes_before)
+        ctx.note("peak_bytes_after", plan.peak_bytes_after)
+        return sdfg
+
+    def fingerprint(self) -> tuple:
+        return (self.name, self.extra_keep, self.allow_inplace)
 
 
 class MapFusion(Pass):
@@ -387,6 +474,8 @@ def register_builtin_passes() -> None:
         ConstantBranchPruning,
         DeadCodeElimination,
         CommonSubexpressionElimination,
+        GlobalValueNumbering,
+        MemoryPlanning,
         MapFusion,
         Validate,
         CheckpointingSelection,

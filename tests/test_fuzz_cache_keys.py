@@ -88,3 +88,27 @@ def test_different_programs_never_share_keys():
     first = _matrix_keys(generator.random_program())
     second = _matrix_keys(generator.random_program())
     assert not set(first.values()) & set(second.values())
+
+
+@pytest.mark.parametrize("tier", ["O0", "O1", "O2", "O3"])
+def test_planning_knob_never_collides_fingerprints(tier):
+    """The ``--planning`` fuzz dimension flips ``memory_planning`` on/off per
+    configuration; wherever that changes the pipeline, the fingerprint must
+    change with it (plan-on at O2+ *is* the default, so those two legally
+    share a key — serving the default artifact for an explicit plan-on
+    request is correct, not a collision)."""
+    default = build_pipeline(tier).fingerprint()
+    on = build_pipeline(tier, memory_planning=True).fingerprint()
+    off = build_pipeline(tier, memory_planning=False).fingerprint()
+    assert on != off
+    if tier in ("O2", "O3"):
+        assert default == on  # planning is the tier default
+    else:
+        assert default == off
+    # The gradient pipelines make the same distinction.
+    grad_on = build_pipeline(
+        tier, gradient=True, wrt=["A"], memory_planning=True).fingerprint()
+    grad_off = build_pipeline(
+        tier, gradient=True, wrt=["A"], memory_planning=False).fingerprint()
+    assert grad_on != grad_off
+    assert grad_on != on
