@@ -108,12 +108,20 @@ def environment_metadata() -> dict:
 def write_results(benchmark: str, payload: dict) -> str:
     """The one result-writing helper every ``bench_*`` script should use.
 
-    Stamps the payload with the benchmark name and the environment metadata
+    Stamps the payload with the benchmark name, the environment metadata
     (interpreter, platform, registered/available codegen backends, C
-    toolchain) and writes it to ``benchmarks/results/<benchmark>.json`` via
-    :func:`write_json`, so all benchmark output lands in one place with one
-    envelope shape.
+    toolchain) and a snapshot of the process-wide observability metrics
+    (cache hit/miss counters, queue latency histograms — see
+    ``docs/observability.md``), and writes it to
+    ``benchmarks/results/<benchmark>.json`` via :func:`write_json`, so all
+    benchmark output lands in one place with one envelope shape.
     """
-    body = {"benchmark": benchmark, "environment": environment_metadata()}
+    from repro.obs import metrics_snapshot
+
+    body = {
+        "benchmark": benchmark,
+        "environment": environment_metadata(),
+        "metrics": metrics_snapshot(),
+    }
     body.update(payload)
     return write_json(f"{benchmark}.json", body)

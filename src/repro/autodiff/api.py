@@ -52,6 +52,7 @@ class GradientFunction:
         extra_passes: Sequence = (),
         backend: Optional[str] = None,
         memory_planning: Optional[bool] = None,
+        profile: bool = False,
     ) -> None:
         from repro.pipeline.driver import compile_gradient
 
@@ -70,6 +71,7 @@ class GradientFunction:
             "extra_passes": tuple(extra_passes),
             "backend": backend,
             "memory_planning": memory_planning,
+            "profile": profile,
         }
         outcome = compile_gradient(
             self.forward_sdfg,
@@ -83,6 +85,7 @@ class GradientFunction:
             extra_passes=extra_passes,
             backend=backend,
             memory_planning=memory_planning,
+            profile=profile,
         )
         self.result: BackwardPassResult = outcome.artifacts["backward"]
         self.wrt = list(self.result.gradient_names)
@@ -122,7 +125,8 @@ class GradientFunction:
 
 def grad(func_or_program, wrt=None, strategy=None, output=None,
          optimize: str = "O1", backend: Optional[str] = None,
-         memory_planning: Optional[bool] = None) -> GradientFunction:
+         memory_planning: Optional[bool] = None,
+         profile: bool = False) -> GradientFunction:
     """Reverse-mode gradient of a scalar-output program.
 
     Examples
@@ -137,15 +141,17 @@ def grad(func_or_program, wrt=None, strategy=None, output=None,
     """
     return GradientFunction(
         func_or_program, wrt=wrt, strategy=strategy, output=output, optimize=optimize,
-        backend=backend, memory_planning=memory_planning,
+        backend=backend, memory_planning=memory_planning, profile=profile,
     )
 
 
 def value_and_grad(func_or_program, wrt=None, strategy=None, output=None,
                    optimize: str = "O1", backend: Optional[str] = None,
-                   memory_planning: Optional[bool] = None) -> GradientFunction:
+                   memory_planning: Optional[bool] = None,
+                   profile: bool = False) -> GradientFunction:
     """Like :func:`grad` but also returns the forward value."""
     return GradientFunction(
         func_or_program, wrt=wrt, strategy=strategy, return_value=True, output=output,
         optimize=optimize, backend=backend, memory_planning=memory_planning,
+        profile=profile,
     )

@@ -42,10 +42,30 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.clock import monotonic_ns
+from repro.obs.metrics import METRICS, Histogram
+from repro.obs.trace import span as _span
+
+# Process-wide serving metrics, fed alongside the per-queue BatchStats:
+# queue depth (samples submitted but not yet dispatched) plus the same
+# wait/dispatch latency distributions aggregated over every queue — see
+# docs/observability.md.
+_OBS_QUEUE_DEPTH = METRICS.gauge("serve.queue_depth")
+_OBS_WAIT = METRICS.histogram("serve.wait_seconds")
+_OBS_DISPATCH = METRICS.histogram("serve.dispatch_seconds")
+
 
 @dataclass
 class BatchStats:
-    """Counters describing how well the queue coalesced its traffic."""
+    """Counters describing how well the queue coalesced its traffic.
+
+    Besides the coalescing counters, two latency histograms record, per
+    queue, how long samples sat in the queue (``wait_seconds``: submit →
+    dispatch start) and how long batched-kernel dispatches took
+    (``dispatch_seconds``); ``wait_p50``/``wait_p99`` and
+    ``dispatch_p50``/``dispatch_p99`` summarise them (NaN before the first
+    dispatch).
+    """
 
     requests: int = 0            #: samples submitted
     batches: int = 0             #: batched kernel dispatches
@@ -53,17 +73,42 @@ class BatchStats:
     padded_samples: int = 0      #: padding rows added by bucketing
     max_batch_observed: int = 0  #: largest batch dispatched (pre-padding)
     batch_sizes: dict[int, int] = field(default_factory=dict)  #: dispatched size -> count
+    #: queue-wait distribution in seconds (submit → dispatch start)
+    wait_seconds: Histogram = field(default_factory=Histogram, repr=False)
+    #: batched-kernel dispatch duration distribution in seconds
+    dispatch_seconds: Histogram = field(default_factory=Histogram, repr=False)
 
     @property
     def mean_batch(self) -> float:
         """Average samples per dispatch (0.0 before the first dispatch)."""
         return self.batched_samples / self.batches if self.batches else 0.0
 
+    @property
+    def wait_p50(self) -> float:
+        """Median queue wait in seconds (NaN before the first dispatch)."""
+        return self.wait_seconds.p50
+
+    @property
+    def wait_p99(self) -> float:
+        """99th-percentile queue wait in seconds."""
+        return self.wait_seconds.p99
+
+    @property
+    def dispatch_p50(self) -> float:
+        """Median dispatch duration in seconds."""
+        return self.dispatch_seconds.p50
+
+    @property
+    def dispatch_p99(self) -> float:
+        """99th-percentile dispatch duration in seconds."""
+        return self.dispatch_seconds.p99
+
 
 @dataclass
 class _Request:
     kwargs: dict
     future: Future
+    enqueued_ns: int = 0
 
 
 _SHUTDOWN = object()
@@ -168,7 +213,10 @@ class BatchQueue:
             if self._closed:
                 raise RuntimeError("BatchQueue is closed")
             self.stats.requests += 1
-            self._queue.put(_Request(kwargs=sample, future=future))
+            self._queue.put(
+                _Request(kwargs=sample, future=future, enqueued_ns=monotonic_ns())
+            )
+            _OBS_QUEUE_DEPTH.inc()
         return future
 
     def __call__(self, **sample):
@@ -207,10 +255,18 @@ class BatchQueue:
             except _queue_mod.Empty:
                 break
             if item is not _SHUTDOWN:
+                _OBS_QUEUE_DEPTH.dec()
                 item.future.set_exception(RuntimeError("BatchQueue closed"))
 
     def _dispatch(self, batch: list) -> None:
         size = len(batch)
+        start_ns = monotonic_ns()
+        _OBS_QUEUE_DEPTH.dec(size)
+        for request in batch:
+            if request.enqueued_ns:
+                waited = (start_ns - request.enqueued_ns) / 1e9
+                self.stats.wait_seconds.observe(waited)
+                _OBS_WAIT.observe(waited)
         stacked = {}
         names = list(batch[0].kwargs)
         try:
@@ -225,11 +281,16 @@ class BatchQueue:
                 rows = [np.asarray(request.kwargs[name]) for request in batch]
                 rows.extend([rows[-1]] * (padded - size))
                 stacked[name] = np.stack(rows, axis=0)
-            result = self.batched_fn(**stacked, **self.static_kwargs)
+            with _span("batch.dispatch", size=size, padded=padded):
+                call_start_ns = monotonic_ns()
+                result = self.batched_fn(**stacked, **self.static_kwargs)
+                elapsed = (monotonic_ns() - call_start_ns) / 1e9
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
             for request in batch:
                 request.future.set_exception(exc)
             return
+        self.stats.dispatch_seconds.observe(elapsed)
+        _OBS_DISPATCH.observe(elapsed)
         self.stats.batches += 1
         self.stats.batched_samples += size
         self.stats.padded_samples += padded - size

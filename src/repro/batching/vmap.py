@@ -104,15 +104,19 @@ class BatchedProgram:
     # -- execution -------------------------------------------------------
     def compile(self, optimize: str = "O1", cache=None,
                 backend: Optional[str] = None,
-                memory_planning: Optional[bool] = None):
-        """Compile batched forward code through the pipeline (cached)."""
-        key = (optimize, backend, memory_planning)
+                memory_planning: Optional[bool] = None,
+                profile: bool = False):
+        """Compile batched forward code through the pipeline (cached).
+
+        ``profile=True`` wraps the result with per-kernel runtime
+        instrumentation (see ``docs/observability.md``)."""
+        key = (optimize, backend, memory_planning, profile)
         if self._compiled is None or self._compiled_key != key:
             from repro.pipeline.driver import compile_forward
 
             self._compiled = compile_forward(
                 self.to_sdfg(), optimize, cache=cache, backend=backend,
-                memory_planning=memory_planning,
+                memory_planning=memory_planning, profile=profile,
             ).compiled
             self._compiled_key = key
         return self._compiled

@@ -53,6 +53,19 @@ class CompiledSDFG:
         """Execute with an explicit name->value mapping (no inference)."""
         return self.func(**bindings)
 
+    def with_kernel_timers(self, sink):
+        """Return a clone whose individual kernels report their execution
+        intervals to ``sink(kernel_name, start_ns, end_ns)``, or ``None``
+        when the backend has no sub-kernel granularity to expose.
+
+        The numpy backend emits one monolithic Python function, so there is
+        nothing finer-grained than the whole call (which
+        :class:`repro.obs.profile.ProfiledCompiledSDFG` already times);
+        backends with named kernels (the cython backend's ``__nativeN``
+        segments) override this.
+        """
+        return None
+
     def __call__(self, *args, **kwargs):
         bindings = bind_arguments(self.sdfg, args, kwargs)
         results = self.func(**bindings)

@@ -29,7 +29,17 @@ import subprocess
 import tempfile
 from typing import Optional
 
+from repro.obs.metrics import METRICS
+from repro.obs.trace import span as _span
 from repro.util.errors import CodegenError
+
+# Artifact-cache traffic, observable process-wide alongside the compilation
+# cache's counters (see docs/observability.md): ``hits`` — the ``.so`` was
+# already on disk; ``restored`` — rehydrated from pickled bytes without a
+# toolchain; ``builds`` — the C compiler actually ran.
+_OBS_ARTIFACT_HITS = METRICS.counter("native.artifacts.hits")
+_OBS_ARTIFACT_BUILDS = METRICS.counter("native.artifacts.builds")
+_OBS_ARTIFACT_RESTORED = METRICS.counter("native.artifacts.restored")
 
 
 class NativeToolchainError(CodegenError):
@@ -135,7 +145,8 @@ def compile_shared_object(c_source: str, path: str) -> str:
     temp_so = f"{path}.tmp.{os.getpid()}"
     command = [compiler, *cflags(), "-fPIC", "-shared", "-o", temp_so,
                source_path, "-lm"]
-    result = subprocess.run(command, capture_output=True, text=True)
+    with _span("codegen.native.cc", compiler=os.path.basename(compiler)):
+        result = subprocess.run(command, capture_output=True, text=True)
     if result.returncode != 0:
         try:
             os.unlink(temp_so)
@@ -156,11 +167,15 @@ def ensure_shared_object(
     ``so_bytes`` from a pickled artifact, restoring) it if absent."""
     path = shared_object_path(digest)
     if os.path.exists(path):
+        _OBS_ARTIFACT_HITS.inc()
         return path
     if so_bytes is not None:
         _atomic_write(path, so_bytes)
+        _OBS_ARTIFACT_RESTORED.inc()
         return path
-    return compile_shared_object(c_source, path)
+    compile_shared_object(c_source, path)
+    _OBS_ARTIFACT_BUILDS.inc()
+    return path
 
 
 def load_library(path: str) -> ctypes.CDLL:

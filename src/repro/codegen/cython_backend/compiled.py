@@ -36,6 +36,7 @@ from repro.codegen.cython_backend.emitter import NativeSourceEmitter, render_c_s
 from repro.codegen.cython_backend.lower import CKernel
 from repro.codegen.runtime import bind_arguments, build_runtime_namespace
 from repro.ir import SDFG
+from repro.obs.clock import monotonic_ns
 from repro.util.errors import CodegenError, UnsupportedFeatureError
 
 
@@ -47,6 +48,23 @@ def _native_namespace(library_path: str, kernels: list[CKernel]) -> dict:
     for kernel in kernels:
         namespace[kernel.name] = make_kernel_callable(library, kernel)
     return namespace
+
+
+class _TimedKernel:
+    """Timing shim around one ctypes kernel trampoline (profiling only)."""
+
+    __slots__ = ("inner", "name", "sink")
+
+    def __init__(self, inner, name: str, sink) -> None:
+        self.inner = inner
+        self.name = name
+        self.sink = sink
+
+    def __call__(self, *args):
+        start_ns = monotonic_ns()
+        result = self.inner(*args)
+        self.sink(self.name, start_ns, monotonic_ns())
+        return result
 
 
 class NativeCompiledSDFG(CompiledSDFG):
@@ -102,6 +120,30 @@ class NativeCompiledSDFG(CompiledSDFG):
     def __call__(self, *args, **kwargs):
         bindings = bind_arguments(self.sdfg, args, kwargs)
         return self._postprocess(self.call_with_bindings(bindings))
+
+    # -- per-kernel profiling ----------------------------------------------
+    def with_kernel_timers(self, sink):
+        """Clone of this object whose C-kernel trampolines report their
+        execution intervals to ``sink(kernel_name, start_ns, end_ns)``.
+
+        The generated driver is re-``exec``-uted in a fresh namespace where
+        every ``__nativeN`` trampoline is wrapped by a timing shim, so the
+        unprofiled original (the object the compilation cache holds) stays
+        untouched.  Used by :class:`repro.obs.profile.ProfiledCompiledSDFG`
+        to split native-kernel time from NumPy-driver time.
+        """
+        import copy
+
+        namespace = _native_namespace(self.library_path, self.kernels)
+        for kernel in self.kernels:
+            namespace[kernel.name] = _TimedKernel(
+                namespace[kernel.name], kernel.name, sink
+            )
+        code = compile(self.source, filename=f"<repro:{self.sdfg.name}>", mode="exec")
+        exec(code, namespace)
+        clone = copy.copy(self)
+        clone.func = namespace[self.func_name]
+        return clone
 
 
 class CythonBackend(Backend):

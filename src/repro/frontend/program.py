@@ -78,20 +78,23 @@ class Program:
     def sdfg(self) -> SDFG:
         return self.to_sdfg()
 
-    def compile(self, optimize: str = "O1", backend: Optional[str] = None):
+    def compile(self, optimize: str = "O1", backend: Optional[str] = None,
+                profile: bool = False):
         """Compile executable forward code through the pass pipeline.
 
         The result is memoised per instance *and* in the process-wide
         compilation cache, so distinct :class:`Program` objects wrapping the
         same source share one compiled artifact.  ``backend`` selects the
-        code-generation backend (``"numpy"`` default, ``"cython"`` native).
+        code-generation backend (``"numpy"`` default, ``"cython"`` native);
+        ``profile=True`` wraps the result with per-kernel runtime
+        instrumentation (see ``docs/observability.md``).
         """
-        key = (optimize, backend)
+        key = (optimize, backend, profile)
         if self._compiled is None or self._compiled_key != key:
             from repro.pipeline.driver import compile_forward
 
             self._compiled = compile_forward(
-                self.to_sdfg(), optimize, backend=backend
+                self.to_sdfg(), optimize, backend=backend, profile=profile
             ).compiled
             self._compiled_key = key
         return self._compiled

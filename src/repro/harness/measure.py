@@ -1,12 +1,18 @@
-"""Timing with warmup, repetitions and confidence intervals."""
+"""Timing with warmup, repetitions and confidence intervals.
+
+The measurement loop itself is :func:`repro.obs.clock.repeat_timed` — the
+same monotonic clock the tracer and the pass manager read — so harness
+numbers, pipeline reports and trace spans are directly comparable.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
+
+from repro.obs.clock import repeat_timed
 
 
 @dataclass
@@ -54,11 +60,5 @@ def measure(
     The warmup call absorbs parsing/compilation, mirroring how the paper
     excludes compilation overhead for both frameworks.
     """
-    result = Measurement(label=label)
-    for _ in range(max(0, warmup)):
-        result.value = fn()
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result.value = fn()
-        result.times.append(time.perf_counter() - start)
-    return result
+    times, value = repeat_timed(fn, repeats=repeats, warmup=warmup)
+    return Measurement(label=label, times=times, value=value)

@@ -60,7 +60,9 @@ def _fmt(cell) -> str:
 
 def format_pipeline_report(report) -> str:
     """Plain-text rendering of a :class:`repro.pipeline.PipelineReport`:
-    one row per pass with wall time, IR size before/after and diagnostics."""
+    one row per pass with wall time, IR size before/after and diagnostics,
+    followed by the process-wide compilation-cache and native-artifact-cache
+    counters (from the observability registry) when any lookups happened."""
     rows = []
     for record in report.records:
         notes = ", ".join(f"{k}={v}" for k, v in record.info.items())
@@ -81,11 +83,49 @@ def format_pipeline_report(report) -> str:
         f"pipeline {report.pipeline}{backend_part}: "
         f"{report.total_seconds * 1e3:.2f} ms total{suffix}"
     )
-    return format_table(
+    table = format_table(
         ["pass", "time [ms]", "IR before", "IR after", "delta", "notes"],
         rows,
         title=title,
     )
+    cache_lines = _cache_summary_lines()
+    if cache_lines:
+        table += "\n" + "\n".join(cache_lines)
+    return table
+
+
+def _counter_value(name: str) -> int:
+    from repro.obs.metrics import METRICS
+
+    metric = METRICS.get(name)
+    return metric.snapshot() if metric is not None else 0
+
+
+def _cache_summary_lines() -> list[str]:
+    """Process-wide cache counters as report footer lines (empty when the
+    caches saw no traffic this process)."""
+    lines = []
+    hits = _counter_value("cache.hits")
+    misses = _counter_value("cache.misses")
+    disk_hits = _counter_value("cache.disk_hits")
+    lookups = hits + misses + disk_hits
+    if lookups:
+        served = hits + disk_hits
+        lines.append(
+            f"compilation cache (process): {hits} hits, {misses} misses, "
+            f"{disk_hits} disk hits — {served / lookups:.0%} served from cache"
+        )
+    artifact_hits = _counter_value("native.artifacts.hits")
+    builds = _counter_value("native.artifacts.builds")
+    restored = _counter_value("native.artifacts.restored")
+    artifact_total = artifact_hits + builds + restored
+    if artifact_total:
+        lines.append(
+            f"native .so artifacts (process): {artifact_hits} cache hits, "
+            f"{builds} compiler builds, {restored} restored from pickles — "
+            f"{artifact_hits / artifact_total:.0%} hit rate"
+        )
+    return lines
 
 
 def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:

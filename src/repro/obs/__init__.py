@@ -1,0 +1,89 @@
+"""Unified observability: tracing, metrics and runtime profiling.
+
+One subsystem for every timing and counting need of the compiler and the
+serving tier (see ``docs/observability.md``):
+
+* **Tracing** (:mod:`repro.obs.trace`): nestable ``span("name", **attrs)``
+  contexts on a monotonic clock, collected by a process-wide
+  :class:`Tracer` with bounded ring-buffer retention.  Off by default; the
+  disabled path is a single attribute check returning a shared no-op.
+* **Metrics** (:mod:`repro.obs.metrics`): counters, gauges and fixed-bucket
+  histograms with p50/p95/p99 estimation in a process-wide
+  :class:`MetricsRegistry`.
+* **Exporters** (:mod:`repro.obs.export`): Chrome-trace/Perfetto JSON
+  (:func:`export_chrome`) and flat metrics snapshots
+  (:func:`metrics_snapshot`) that ``benchmarks/_common.write_results``
+  stamps into every benchmark envelope.
+* **Profiling** (:mod:`repro.obs.profile`):
+  ``repro.compile(..., profile=True)`` wraps the compiled callable so every
+  execution feeds per-kernel runtime histograms, including the native C
+  kernel vs NumPy driver split under the cython backend.
+* **Clock** (:mod:`repro.obs.clock`): the single monotonic time source all
+  of the above (and both legacy timing helpers) read.
+
+Instrumentation is wired through the pass manager (per-pass spans), the
+compilation cache (hit/miss/disk-hit counters), the native toolchain
+(build spans, artifact-cache counters) and the batch queue (wait/dispatch
+histograms, queue-depth gauge).  ``python -m repro.obs`` pretty-prints
+snapshots and converts raw span dumps to Chrome-trace files.
+"""
+
+from repro.obs.clock import monotonic, monotonic_ns, repeat_timed, seconds_between
+from repro.obs.export import (
+    chrome_events,
+    chrome_trace_document,
+    export_chrome,
+    format_metrics,
+    metrics_snapshot,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_time_buckets,
+)
+from repro.obs.profile import ProfiledCompiledSDFG, profile_compiled
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACER,
+    SpanRecord,
+    Tracer,
+    disable,
+    enable,
+    is_enabled,
+    load_spans,
+    span,
+)
+
+__all__ = [
+    "monotonic",
+    "monotonic_ns",
+    "seconds_between",
+    "repeat_timed",
+    "Tracer",
+    "TRACER",
+    "SpanRecord",
+    "NOOP_SPAN",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "load_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "default_time_buckets",
+    "chrome_events",
+    "chrome_trace_document",
+    "export_chrome",
+    "format_metrics",
+    "metrics_snapshot",
+    "write_metrics",
+    "ProfiledCompiledSDFG",
+    "profile_compiled",
+]

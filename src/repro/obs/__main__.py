@@ -1,0 +1,125 @@
+"""Observability CLI: ``python -m repro.obs <command>``.
+
+Commands:
+
+* ``snapshot [FILE]`` — pretty-print a metrics snapshot.  ``FILE`` may be a
+  raw snapshot (``repro.obs.write_metrics``) or any benchmark envelope
+  written by ``benchmarks/_common.write_results`` (the snapshot is read
+  from its ``"metrics"`` key).  Without a file, the live process registry
+  is printed (mostly useful after ``demo``).
+* ``chrome IN [-o OUT]`` — convert a raw span dump (``Tracer.save``) into a
+  Chrome-trace/Perfetto JSON file (default ``IN`` with a ``.trace.json``
+  suffix) loadable at https://ui.perfetto.dev.
+* ``demo [--out DIR]`` — run a small instrumented workload (an O2 compile
+  with ``profile=True`` plus a batched-serving round through
+  ``BatchQueue``), then write ``obs_demo_metrics.json``,
+  ``obs_demo_spans.json`` and ``obs_demo.trace.json`` into ``DIR``
+  (default ``benchmarks/results/``) and print the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.obs import format_metrics, metrics_snapshot
+
+    if args.file:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+        snapshot = payload.get("metrics", payload)
+        if not isinstance(snapshot, dict) or "counters" not in snapshot:
+            print(f"{args.file}: no metrics snapshot found", file=sys.stderr)
+            return 1
+    else:
+        snapshot = metrics_snapshot()
+    print(format_metrics(snapshot))
+    return 0
+
+
+def _cmd_chrome(args: argparse.Namespace) -> int:
+    from repro.obs import export_chrome, load_spans
+
+    spans = load_spans(args.input)
+    out = args.output or f"{os.path.splitext(args.input)[0]}.trace.json"
+    export_chrome(out, spans=spans)
+    print(f"{len(spans)} spans -> {out}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    import repro
+    from repro import obs
+    from repro.npbench import get_kernel
+
+    out_dir = args.out or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results"
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    obs.enable()
+    spec = get_kernel("bias_act")
+    data = spec.data("S")
+    program = spec.program_for("S")
+
+    compiled = repro.compile(program, optimize="O2", profile=True, cache=False)
+    for _ in range(3):
+        compiled(**{key: np.copy(value) for key, value in data.items()})
+
+    batched = repro.vmap(program, in_axes={"x": 0, "r": 0, "bias": None})
+    batched_fn = batched.compile(optimize="O2")
+    with repro.BatchQueue(batched_fn, max_batch=8, max_wait_ms=1.0,
+                          static_kwargs={"bias": data["bias"]}) as queue:
+        futures = [
+            queue.submit(x=np.copy(data["x"]), r=np.copy(data["r"]))
+            for _ in range(8)
+        ]
+        for future in futures:
+            future.result()
+
+    metrics_path = obs.write_metrics(os.path.join(out_dir, "obs_demo_metrics.json"))
+    spans_path = obs.TRACER.save(os.path.join(out_dir, "obs_demo_spans.json"))
+    trace_path = obs.export_chrome(os.path.join(out_dir, "obs_demo.trace.json"))
+    print(obs.format_metrics(obs.metrics_snapshot()))
+    print()
+    print(f"metrics  -> {metrics_path}")
+    print(f"spans    -> {spans_path}")
+    print(f"trace    -> {trace_path} (load in https://ui.perfetto.dev)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability data.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    snapshot = commands.add_parser("snapshot", help="pretty-print a metrics snapshot")
+    snapshot.add_argument("file", nargs="?", help="snapshot or benchmark-envelope JSON")
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    chrome = commands.add_parser("chrome", help="raw span dump -> Chrome trace")
+    chrome.add_argument("input", help="raw span dump written by Tracer.save")
+    chrome.add_argument("-o", "--output", help="output path (.trace.json)")
+    chrome.set_defaults(func=_cmd_chrome)
+
+    demo = commands.add_parser("demo", help="run an instrumented demo workload")
+    demo.add_argument("--out", help="output directory (default benchmarks/results/)")
+    demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 0
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

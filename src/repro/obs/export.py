@@ -1,0 +1,145 @@
+"""Exporters: Chrome-trace/Perfetto JSON for spans, flat JSON for metrics.
+
+Chrome trace event format (the *JSON Array Format* with complete ``"X"``
+events) loads directly in ``chrome://tracing`` and https://ui.perfetto.dev:
+every span becomes one event carrying ``name``/``cat``/``ph``/``ts``/
+``dur``/``pid``/``tid`` with the span attributes under ``args``.
+Timestamps are microseconds on the tracer's monotonic clock (an arbitrary
+epoch — the viewers only care about relative time); nesting is implicit
+from per-``tid`` timestamp containment, which is exactly how the span
+stacks nested at record time.
+
+Metrics export is simpler: :func:`metrics_snapshot` returns the registry's
+flat JSON dict (the same shape ``benchmarks/_common.write_results`` stamps
+into benchmark envelopes) and :func:`write_metrics` writes it to a file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Sequence
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TRACER, SpanRecord, Tracer
+
+
+def chrome_events(spans: Sequence[SpanRecord], pid: Optional[int] = None) -> list[dict]:
+    """Map span records to Chrome-trace complete events (``ph="X"``)."""
+    pid = pid if pid is not None else os.getpid()
+    events = []
+    for record in spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start_ns / 1e3,
+                "dur": record.duration_ns / 1e3,
+                "pid": pid,
+                "tid": record.thread_id,
+                "args": dict(record.attrs, depth=record.depth),
+            }
+        )
+    return events
+
+
+def chrome_trace_document(spans: Sequence[SpanRecord], pid: Optional[int] = None) -> dict:
+    """The full Chrome-trace JSON object for ``spans`` (with thread-name
+    metadata so Perfetto labels tracks by thread)."""
+    pid = pid if pid is not None else os.getpid()
+    events = chrome_events(spans, pid=pid)
+    seen: dict[int, str] = {}
+    for record in spans:
+        if record.thread_id not in seen and record.thread_name:
+            seen[record.thread_id] = record.thread_name
+    for tid, name in sorted(seen.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    spans: Optional[Sequence[SpanRecord]] = None,
+) -> str:
+    """Write a Chrome-trace/Perfetto JSON file and return its path.
+
+    ``spans`` wins when given; otherwise the spans of ``tracer`` (default:
+    the process-wide tracer) are exported.
+    """
+    if spans is None:
+        spans = (tracer or TRACER).spans()
+    document = chrome_trace_document(spans)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def metrics_snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
+    """Flat JSON dict of the registry's current state (default registry
+    when none is given)."""
+    return (registry or METRICS).snapshot()
+
+
+def write_metrics(path: str, registry: Optional[MetricsRegistry] = None) -> str:
+    """Write :func:`metrics_snapshot` to ``path`` as JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(metrics_snapshot(registry), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Plain-text rendering of a metrics snapshot (the CLI's pretty-printer)."""
+    from repro.harness.report import format_table
+
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    scalar_rows = [[name, value] for name, value in sorted(counters.items())]
+    scalar_rows += [[name, value] for name, value in sorted(gauges.items())]
+    if scalar_rows:
+        lines.append(format_table(["metric", "value"], scalar_rows,
+                                  title="counters & gauges"))
+    histogram_rows = []
+    for name, body in sorted(histograms.items()):
+        if not body.get("count"):
+            histogram_rows.append([name, 0, None, None, None, None, None])
+            continue
+        histogram_rows.append([
+            name,
+            body["count"],
+            body["mean"] * 1e3,
+            body["p50"] * 1e3,
+            body["p95"] * 1e3,
+            body["p99"] * 1e3,
+            body["max"] * 1e3,
+        ])
+    if histogram_rows:
+        if lines:
+            lines.append("")
+        lines.append(format_table(
+            ["histogram", "n", "mean [ms]", "p50 [ms]", "p95 [ms]",
+             "p99 [ms]", "max [ms]"],
+            histogram_rows,
+            title="histograms (values scaled as milliseconds)",
+        ))
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

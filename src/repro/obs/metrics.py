@@ -1,0 +1,264 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Three metric types, all thread-safe and all snapshot-able as plain JSON:
+
+* :class:`Counter` — monotonically increasing event count (cache hits,
+  dispatched batches, native artifact builds);
+* :class:`Gauge` — a value that goes up and down (queue depth);
+* :class:`Histogram` — fixed-bucket distribution of observations with
+  p50/p95/p99 quantile estimation by linear interpolation inside the
+  bucket containing the rank (enqueue-to-dispatch waits, per-kernel
+  runtimes).  Bucket bounds are fixed at construction, so ``observe`` is a
+  bisect plus a few adds — cheap enough for per-dispatch instrumentation.
+
+A :class:`MetricsRegistry` is a name-keyed get-or-create store of those.
+The process-wide default lives at :data:`METRICS`; every instrumented layer
+(compilation cache, batch queue, native artifact cache, profiled kernels)
+records into it, and ``benchmarks/_common.write_results`` stamps its
+snapshot into every benchmark envelope.  ``reset`` zeroes metrics **in
+place** so module-level references held by hot paths stay valid.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. queue depth)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value -= amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+def default_time_buckets() -> list[float]:
+    """Exponential bucket bounds for durations in seconds: 1µs .. ~67s,
+    doubling each step.  Observations beyond the last bound land in the
+    overflow bucket (quantiles there interpolate up to the observed max)."""
+    return [1e-6 * 2.0 ** k for k in range(27)]
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimation.
+
+    ``bounds[i]`` is the *inclusive upper* bound of bucket ``i``; one extra
+    overflow bucket catches everything beyond the last bound.  Quantiles walk
+    the cumulative counts to the bucket containing the requested rank and
+    interpolate linearly between the bucket's bounds (clamped to the observed
+    min/max, so a histogram fed a single value reports that value for every
+    quantile).  Estimation error is therefore at most one bucket width.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str = "", buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.bounds = sorted(buckets) if buckets is not None else default_time_buckets()
+        if not self.bounds:
+            raise ValueError("Histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations;
+        ``nan`` before the first observation."""
+        if self.count == 0:
+            return math.nan
+        q = min(max(q, 0.0), 1.0)
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - rank beyond total is impossible
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable summary (counts, sum, mean and key quantiles)."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Name-keyed get-or-create store of counters, gauges and histograms.
+
+    Asking for an existing name returns the existing instance (so call sites
+    may cache references at import time); asking for an existing name *as a
+    different type* raises.  ``reset`` zeroes every metric in place and
+    ``snapshot`` returns one flat JSON-serialisable dict.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, factory):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"Metric {name!r} is a {type(existing).__name__}, "
+                        f"not a {cls.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets))
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every registered metric *in place* (references stay valid)."""
+        for metric in list(self._metrics.values()):
+            metric.reset()
+
+    def snapshot(self) -> dict:
+        """Flat JSON dict: ``{"counters": {...}, "gauges": {...},
+        "histograms": {name: {count, mean, p50, ...}}}`` — the shape
+        ``benchmarks/_common.write_results`` embeds into result envelopes."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.snapshot()
+            elif isinstance(metric, Histogram):
+                histograms[name] = metric.snapshot()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: Process-wide default registry every instrumented layer records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,275 @@
+"""The structured tracing core: nestable spans on a monotonic clock.
+
+A *span* is a named, attributed interval of wall time.  Code opens spans
+with the :func:`span` context manager::
+
+    with span("pipeline.map-fusion", pipeline="forward-O2"):
+        ...
+
+Spans nest: each thread keeps its own span stack (``threading.local``), so
+concurrent pipelines and the batch-queue worker trace independently, and a
+span records its nesting ``depth`` at entry.  Finished spans land in the
+process-wide :class:`Tracer`'s bounded ring buffer (a ``deque`` with
+``maxlen`` — long-running servers never grow without bound; old spans fall
+off the back).
+
+Tracing is **off by default** and the disabled path is as close to free as
+Python allows: :func:`span` checks one attribute and returns a shared no-op
+context manager — no allocation, no clock read, no buffer traffic
+(``benchmarks/bench_obs_overhead.py`` gates this at <= 3% on a warm kernel
+loop).  Enable with :func:`enable` (or ``Tracer.enable``), snapshot with
+``Tracer.spans()``, and convert to a Chrome-trace file with
+:func:`repro.obs.export.export_chrome` for the Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.obs.clock import monotonic_ns
+
+
+class SpanRecord:
+    """One finished span: name, interval, thread identity, nesting depth and
+    free-form attributes."""
+
+    __slots__ = ("name", "start_ns", "duration_ns", "thread_id", "thread_name",
+                 "depth", "attrs")
+
+    def __init__(self, name: str, start_ns: int, duration_ns: int,
+                 thread_id: int, thread_name: str, depth: int, attrs: dict) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.duration_ns = duration_ns
+        self.thread_id = thread_id
+        self.thread_name = thread_name
+        self.depth = depth
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            start_ns=payload["start_ns"],
+            duration_ns=payload["duration_ns"],
+            thread_id=payload.get("thread_id", 0),
+            thread_name=payload.get("thread_name", ""),
+            depth=payload.get("depth", 0),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (f"SpanRecord({self.name!r}, {self.duration_ns / 1e6:.3f} ms, "
+                f"depth={self.depth})")
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span; created by ``Tracer.span`` only while tracing is on."""
+
+    __slots__ = ("tracer", "name", "attrs", "start_ns", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start_ns = 0
+        self.depth = 0
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. a batch's padded size)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._stack()
+        self.depth = len(stack)
+        stack.append(self)
+        self.start_ns = monotonic_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end_ns = monotonic_ns()
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # exited out of order (generator-held span)
+            stack.remove(self)
+        thread = threading.current_thread()
+        self.tracer._buffer.append(
+            SpanRecord(
+                name=self.name,
+                start_ns=self.start_ns,
+                duration_ns=end_ns - self.start_ns,
+                thread_id=thread.ident or 0,
+                thread_name=thread.name,
+                depth=self.depth,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Process-wide span collector with bounded ring-buffer retention.
+
+    ``capacity`` bounds the number of retained spans (oldest dropped first).
+    Thread safety: span stacks are thread-local and ``deque.append`` is
+    atomic, so concurrent spans from many threads interleave safely.
+    """
+
+    def __init__(self, capacity: int = 65536, enabled: bool = False) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+        self._local = threading.local()
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self, capacity: Optional[int] = None) -> "Tracer":
+        """Turn tracing on (optionally resizing the ring buffer)."""
+        if capacity is not None and capacity != self.capacity:
+            self.capacity = capacity
+            self._buffer = deque(self._buffer, maxlen=capacity)
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    # -- recording -------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs):
+        """A context manager tracing one interval (no-op while disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def record(self, name: str, start_ns: int, duration_ns: int, **attrs) -> None:
+        """Append an already-timed interval (for instrumentation that must
+        time unconditionally and only *report* when tracing is on)."""
+        if not self.enabled:
+            return
+        thread = threading.current_thread()
+        self._buffer.append(
+            SpanRecord(
+                name=name,
+                start_ns=start_ns,
+                duration_ns=duration_ns,
+                thread_id=thread.ident or 0,
+                thread_name=thread.name,
+                depth=len(self._stack()),
+                attrs=attrs,
+            )
+        )
+
+    def current_depth(self) -> int:
+        """Open-span nesting depth of the calling thread."""
+        return len(self._stack())
+
+    # -- inspection ------------------------------------------------------
+    def spans(self) -> list[SpanRecord]:
+        """Snapshot of the retained spans, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: str) -> str:
+        """Dump the raw span buffer as JSON (convert to a Chrome trace later
+        with ``python -m repro.obs chrome <path>``)."""
+        payload = {
+            "format": "repro-obs-spans",
+            "clock": "perf_counter_ns",
+            "spans": [record.to_dict() for record in self.spans()],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    def export_chrome(self, path: str) -> str:
+        """Write the retained spans as a Chrome-trace/Perfetto JSON file."""
+        from repro.obs.export import export_chrome
+
+        return export_chrome(path, spans=self.spans())
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self._buffer)}/{self.capacity} spans)"
+
+
+def load_spans(path: str) -> list[SpanRecord]:
+    """Read a raw span dump written by :meth:`Tracer.save`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro-obs-spans":
+        raise ValueError(f"{path} is not a repro.obs raw span dump")
+    return [SpanRecord.from_dict(item) for item in payload.get("spans", [])]
+
+
+#: Process-wide default tracer (off until :func:`enable`).
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer (no-op while tracing is disabled)."""
+    tracer = TRACER
+    if not tracer.enabled:
+        return NOOP_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def enable(capacity: Optional[int] = None) -> Tracer:
+    """Turn on the default tracer and return it."""
+    return TRACER.enable(capacity)
+
+
+def disable() -> Tracer:
+    """Turn off the default tracer and return it."""
+    return TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled

@@ -6,6 +6,13 @@ the cache maps a compilation request to the finished
 such as the AD result), so repeated ``repro.compile`` / ``repro.grad`` calls
 on an unchanged program skip parsing, simplification, AD and code emission
 entirely.  Entries are evicted LRU beyond ``maxsize``.
+
+Besides the per-instance :class:`CacheStats`, every lookup also feeds the
+process-wide metrics registry (``cache.hits`` / ``cache.misses`` /
+``cache.disk_hits`` counters, plus ``cache.spills`` for persisted entries),
+so cache behaviour across *all* cache instances shows up in one
+observability snapshot (``repro.obs.metrics_snapshot()``) and in
+``format_pipeline_report`` — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -17,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
+
+from repro.obs.metrics import METRICS
+
+_OBS_HITS = METRICS.counter("cache.hits")
+_OBS_MISSES = METRICS.counter("cache.misses")
+_OBS_DISK_HITS = METRICS.counter("cache.disk_hits")
+_OBS_SPILLS = METRICS.counter("cache.spills")
 
 _MISS_COUNTER = itertools.count()
 
@@ -155,12 +169,15 @@ class CompilationCache:
             entry = self._load_spilled(key)
             if entry is None:
                 self.stats.misses += 1
+                _OBS_MISSES.inc()
                 return None
             self.stats.disk_hits += 1
+            _OBS_DISK_HITS.inc()
             self._insert(entry)
             return entry
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        _OBS_HITS.inc()
         return entry
 
     def store(self, entry: CacheEntry) -> CacheEntry:
@@ -209,6 +226,7 @@ class CompilationCache:
             # trouble (read-only dir, full disk): persistence is best-effort,
             # the in-memory entry is already stored, never fail the compile.
             return False
+        _OBS_SPILLS.inc()
         return True
 
     def _load_spilled(self, key: tuple) -> Optional[CacheEntry]:

@@ -271,8 +271,16 @@ def compile_forward(
     result_names: Optional[list[str]] = None,
     backend: Optional[str] = None,
     memory_planning: Optional[bool] = None,
+    profile: bool = False,
 ) -> CompileOutcome:
-    """Compile the forward program through the pipeline (cached)."""
+    """Compile the forward program through the pipeline (cached).
+
+    With ``profile=True`` the returned ``outcome.compiled`` is wrapped in a
+    :class:`~repro.obs.ProfiledCompiledSDFG`: every execution feeds
+    per-kernel runtime histograms in the obs metrics registry (see
+    docs/observability.md).  The wrapper is applied *after* caching, so the
+    cache key and the cached object are unchanged.
+    """
     sdfg = to_sdfg(program)
     manager = build_pipeline(
         optimize,
@@ -286,7 +294,12 @@ def compile_forward(
         symbol_values=dict(symbol_values or {}),
         options={"result_names": list(result_names) if result_names else None},
     )
-    return run_pipeline(sdfg, manager, ctx, cache=cache)
+    outcome = run_pipeline(sdfg, manager, ctx, cache=cache)
+    if profile:
+        from repro.obs.profile import profile_compiled
+
+        outcome.compiled = profile_compiled(outcome.compiled)
+    return outcome
 
 
 def compile_gradient(
@@ -302,12 +315,14 @@ def compile_gradient(
     extra_passes: Sequence = (),
     backend: Optional[str] = None,
     memory_planning: Optional[bool] = None,
+    profile: bool = False,
 ) -> CompileOutcome:
     """Compile the forward+backward program through the pipeline (cached).
 
     The outcome's ``artifacts["backward"]`` holds the
     :class:`BackwardPassResult` (gradient container names, activity analysis,
-    storage plan).
+    storage plan).  ``profile=True`` wraps the compiled callable for
+    per-execution runtime histograms, exactly as in :func:`compile_forward`.
     """
     if isinstance(wrt, str):
         wrt = [wrt]
@@ -338,6 +353,10 @@ def compile_gradient(
         report = outcome.artifacts.get("checkpoint_report")
         if report is not None:
             checkpointing.last_report = report
+    if profile:
+        from repro.obs.profile import profile_compiled
+
+        outcome.compiled = profile_compiled(outcome.compiled)
     return outcome
 
 
@@ -354,6 +373,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
     extra_passes: Sequence = (),
     backend: Optional[str] = None,
     memory_planning: Optional[bool] = None,
+    profile: bool = False,
 ):
     """Top-level compilation entry point (re-exported as ``repro.compile``).
 
@@ -366,7 +386,11 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
 
     ``backend`` selects the code generator (``"numpy"`` default,
     ``"cython"`` for the native C backend with automatic per-program
-    fallback — see docs/backends.md).
+    fallback — see docs/backends.md).  ``profile=True`` turns on per-call
+    runtime profiling of the compiled callable: execution times land in
+    per-kernel histograms of the obs metrics registry, including the
+    native-segment vs NumPy-driver split under the cython backend (see
+    docs/observability.md).
     """
     if gradient is None:
         gradient = wrt is not None or checkpointing is not None or output is not None
@@ -389,6 +413,7 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
             extra_passes=extra_passes,
             backend=backend,
             memory_planning=memory_planning,
+            profile=profile,
         )
     outcome = compile_forward(
         program,
@@ -398,5 +423,6 @@ def compile(  # noqa: A001 - deliberate: mirrors ``repro.compile``
         extra_passes=extra_passes,
         backend=backend,
         memory_planning=memory_planning,
+        profile=profile,
     )
     return outcome.compiled

@@ -5,15 +5,22 @@ input SDFG and records, for every pass, its wall-clock time and the change in
 IR size (compute nodes and control-flow elements) into a
 :class:`PipelineReport`.  The report is attached to compiled objects so users
 can see where compilation time goes (``print(report.pretty())``).
+
+Pass timing reads the obs monotonic clock (:mod:`repro.obs.clock`) and every
+pass execution additionally opens a ``pipeline.<pass>`` tracing span (plus
+one ``pipeline.run`` span around the whole pipeline), so an enabled tracer
+(``repro.obs.enable()``) sees per-pass compilation time on the same clock
+the report records — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from repro.ir import SDFG, State
+from repro.obs.clock import monotonic_ns
+from repro.obs.trace import span as _span
 from repro.pipeline.pass_base import Pass, PassContext, make_pass
 
 
@@ -149,22 +156,24 @@ class PassManager:
         ctx = ctx if ctx is not None else PassContext()
         current = sdfg.copy() if copy else sdfg
         report = PipelineReport(pipeline=self.name)
-        for p in self.passes:
-            before = ir_size(current)
-            ctx.info = {}
-            start = time.perf_counter()
-            result = p.apply(current, ctx)
-            elapsed = time.perf_counter() - start
-            if result is not None:
-                current = result
-            report.records.append(
-                PassRecord(
-                    name=p.name,
-                    seconds=elapsed,
-                    nodes_before=before,
-                    nodes_after=ir_size(current),
-                    info=dict(ctx.info),
+        with _span("pipeline.run", pipeline=self.name, sdfg=sdfg.name):
+            for p in self.passes:
+                before = ir_size(current)
+                ctx.info = {}
+                with _span(f"pipeline.{p.name}", pipeline=self.name):
+                    start_ns = monotonic_ns()
+                    result = p.apply(current, ctx)
+                    elapsed = (monotonic_ns() - start_ns) / 1e9
+                if result is not None:
+                    current = result
+                report.records.append(
+                    PassRecord(
+                        name=p.name,
+                        seconds=elapsed,
+                        nodes_before=before,
+                        nodes_after=ir_size(current),
+                        info=dict(ctx.info),
+                    )
                 )
-            )
         ctx.info = {}
         return current, report

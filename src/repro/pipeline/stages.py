@@ -362,7 +362,7 @@ class Codegen(Pass):
         self.backend = backend
 
     def apply(self, sdfg: SDFG, ctx: PassContext) -> SDFG:
-        from repro.codegen import compile_sdfg
+        from repro.obs.trace import span as _span
 
         backward = ctx.artifacts.get("backward")
         func_name = self.func_name
@@ -379,7 +379,10 @@ class Codegen(Pass):
                 ]
                 if self.return_value:
                     result_names = result_names + [backward.output]
-        compiled = self._compile(sdfg, ctx, func_name, result_names)
+        with _span("codegen.build", sdfg=sdfg.name,
+                   backend=self.backend or "numpy") as sp:
+            compiled = self._compile(sdfg, ctx, func_name, result_names)
+            sp.set(ran_backend=compiled.backend)
         ctx.artifacts["compiled"] = compiled
         ctx.note("backend", compiled.backend)
         ctx.note("source_lines", compiled.source.count("\n") + 1)

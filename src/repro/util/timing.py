@@ -4,28 +4,36 @@ The benchmark harness (``repro.harness.measure``) builds on these to follow
 the measurement methodology used by the paper (warmup run, repeated
 measurements, confidence intervals); this module only provides the low-level
 building blocks so they can be reused in examples and tests.
+
+.. deprecated::
+    The clock and the repeated-measurement loop now live in
+    :mod:`repro.obs.clock` (``monotonic`` / ``repeat_timed``), so benchmark
+    numbers and tracer spans come off one clock.  This module remains as a
+    thin compatibility wrapper; new code should use :mod:`repro.obs.clock`
+    directly.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.clock import monotonic, repeat_timed
+
 
 class Timer:
-    """Context manager measuring wall-clock time with ``perf_counter``."""
+    """Context manager measuring wall-clock time on the obs monotonic clock."""
 
     def __init__(self) -> None:
         self.start: float = 0.0
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+        self.start = monotonic()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.elapsed = monotonic() - self.start
 
 
 @dataclass
@@ -59,12 +67,8 @@ def measure_callable(
 ) -> TimingResult:
     """Time ``fn`` with ``warmup`` unmeasured calls followed by ``repeats``
     measured calls.  Returns all individual times plus the last return value.
+
+    Thin wrapper over :func:`repro.obs.clock.repeat_timed`.
     """
-    result = TimingResult()
-    for _ in range(max(0, warmup)):
-        result.value = fn()
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        result.value = fn()
-        result.times.append(time.perf_counter() - start)
-    return result
+    times, value = repeat_timed(fn, repeats=repeats, warmup=warmup)
+    return TimingResult(times=times, value=value)

@@ -45,6 +45,7 @@ DOCUMENTED_PACKAGES = (
     "src/repro/codegen",
     "src/repro/codegen/cython_backend",
     "src/repro/fuzz",
+    "src/repro/obs",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
