@@ -1,0 +1,230 @@
+"""Load test: the serving runtime under injected transient faults.
+
+The same burst of requests is served twice by a ``BatchQueue`` over the
+vmapped ``bias_act`` kernel — once fault-free, once with a seeded
+``FaultPlan`` injecting ~1% transient kernel failures (plus two scheduled
+ones, so the retry path fires deterministically).  Measured claims
+(asserted under pytest):
+
+* **Every request resolves correctly in both runs.**  Transient faults are
+  absorbed by retry/bisection; no request may fail or hang.
+* **Goodput holds.**  Successful requests per second under faults must be
+  **>= 0.9x** the fault-free run: retries cost latency, not throughput
+  collapse.
+* **Tail latency stays bounded.**  The p99 submit->dispatch wait under
+  faults must be **<= 3x** the fault-free p99.
+* **The resilience machinery actually ran** (``stats.retries >= 1`` in the
+  fault run) — a benchmark that never exercises the fault path gates
+  nothing.
+
+Results go to ``benchmarks/results/serving_resilience.json`` via the
+shared ``_common.write_results`` helper.  See ``docs/serving.md``.
+
+Run with:  python benchmarks/bench_serving_resilience.py
+      or:  python -m pytest benchmarks/bench_serving_resilience.py -q -s
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from _common import write_results
+
+import repro
+from repro.faults import FaultPlan, inject
+from repro.harness import format_table
+from repro.npbench import get_kernel
+from repro.serve import BatchQueue
+
+KERNEL = "bias_act"
+#: Small per-sample size: the many-small-requests regime serving exists for.
+SAMPLE_SIZE = {"N": 16, "M": 16}
+AXES = {"x": 0, "r": 0, "bias": None}
+POOL = 64               #: distinct samples; requests cycle through the pool
+REQUESTS = 768
+SUBMITTERS = 4
+MAX_BATCH = 16
+REPEATS = 5             #: paired clean/faulty rounds; gates use the median
+SEED = 20260807
+FAULT_RATE = 0.01
+GOODPUT_FLOOR = 0.9     #: faulty goodput >= 0.9x fault-free
+WAIT_P99_CEILING = 3.0  #: faulty wait p99 <= 3x fault-free
+RESULT_TIMEOUT = 120.0
+
+
+def _pool_data(seed: int = 42) -> dict:
+    spec = get_kernel(KERNEL)
+    samples = [
+        spec.initialize(**SAMPLE_SIZE, seed=seed + index) for index in range(POOL)
+    ]
+    return {
+        "x": np.stack([s["x"] for s in samples]),
+        "r": np.stack([s["r"] for s in samples]),
+        "bias": samples[0]["bias"],
+    }
+
+
+def _make_plan() -> FaultPlan:
+    # Two scheduled transients guarantee the retry path fires even if the
+    # 1% random schedule happens to stay quiet for a short run.
+    return FaultPlan(seed=SEED, transient_rate=FAULT_RATE, fail_calls=(3, 17))
+
+
+def _run_trial(batched_fn, data, expected) -> dict:
+    """Serve one full request burst; return goodput and latency stats."""
+    with BatchQueue(batched_fn, max_batch=MAX_BATCH, max_wait_ms=1.0,
+                    static_kwargs={"bias": data["bias"]},
+                    max_retries=3, backoff_ms=0.5, backoff_cap_ms=4.0) as queue:
+        futures = [None] * REQUESTS
+        errors = []
+
+        def submitter(offset):
+            try:
+                for index in range(offset, REQUESTS, SUBMITTERS):
+                    pool_index = index % POOL
+                    futures[index] = queue.submit(
+                        x=data["x"][pool_index], r=data["r"][pool_index]
+                    )
+            except Exception as exc:  # pragma: no cover - gate via `errors`
+                errors.append(exc)
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=submitter, args=(offset,))
+            for offset in range(SUBMITTERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, f"submission failed: {errors[0]!r}"
+
+        succeeded = 0
+        for index, future in enumerate(futures):
+            result = future.result(timeout=RESULT_TIMEOUT)  # raises on failure
+            np.testing.assert_allclose(result, expected[index % POOL], rtol=1e-9)
+            succeeded += 1
+        elapsed = time.perf_counter() - start
+        stats = queue.stats
+        return {
+            "succeeded": succeeded,
+            "seconds": elapsed,
+            "goodput_rps": succeeded / elapsed,
+            "wait_p99_s": stats.wait_p99,
+            "batches": stats.batches,
+            "retries": stats.retries,
+            "bisections": stats.bisections,
+            "failed": stats.failed,
+        }
+
+
+def _best_of(trials) -> dict:
+    """Best-of-REPEATS: max goodput, min p99 (same convention as the other
+    benchmarks — the quantity under test is the code path, not noise)."""
+    best = dict(max(trials, key=lambda t: t["goodput_rps"]))
+    best["wait_p99_s"] = min(t["wait_p99_s"] for t in trials)
+    best["retries"] = max(t["retries"] for t in trials)
+    best["bisections"] = max(t["bisections"] for t in trials)
+    return best
+
+
+def run_resilience_benchmark() -> dict:
+    spec = get_kernel(KERNEL)
+    program = spec.program_for()
+    data = _pool_data()
+    batched = repro.vmap(program, in_axes=AXES).compile(optimize="O1")
+
+    # Correctness reference before any timing: the batched kernel on the
+    # whole pool must match per-sample execution.
+    per_sample = program.compile(optimize="O1")
+    expected = np.stack([
+        per_sample(x=data["x"][i], r=data["r"][i], bias=data["bias"])
+        for i in range(POOL)
+    ])
+    np.testing.assert_allclose(batched(**data), expected, rtol=1e-12)
+
+    # One discarded warmup trial, then interleaved clean/faulty rounds so a
+    # slow system phase (page cache, CPU frequency, noisy neighbours on CI
+    # runners) degrades both modes alike rather than skewing the ratio.
+    _run_trial(batched, data, expected)
+    clean_trials, faulty_trials = [], []
+    for _ in range(REPEATS):
+        clean_trials.append(_run_trial(batched, data, expected))
+        faulty_trials.append(
+            _run_trial(inject(batched, _make_plan()), data, expected)
+        )
+    clean, faulty = _best_of(clean_trials), _best_of(faulty_trials)
+
+    # Gate on the *median of per-round ratios*: each round pairs a clean and
+    # a faulty trial run back to back, so transient system noise cancels
+    # within the pair and a single slow round cannot fail (or pass) the gate.
+    goodput_ratios = sorted(
+        f["goodput_rps"] / c["goodput_rps"]
+        for c, f in zip(clean_trials, faulty_trials)
+    )
+    wait_ratios = sorted(
+        f["wait_p99_s"] / c["wait_p99_s"] if c["wait_p99_s"] > 0 else 0.0
+        for c, f in zip(clean_trials, faulty_trials)
+    )
+    goodput_ratio = goodput_ratios[len(goodput_ratios) // 2]
+    wait_p99_ratio = wait_ratios[len(wait_ratios) // 2]
+
+    payload = {
+        "kernel": KERNEL,
+        "requests": REQUESTS,
+        "submitters": SUBMITTERS,
+        "max_batch": MAX_BATCH,
+        "repeats": REPEATS,
+        "fault_rate": FAULT_RATE,
+        "seed": SEED,
+        "goodput_floor": GOODPUT_FLOOR,
+        "wait_p99_ceiling": WAIT_P99_CEILING,
+        "fault_free": clean,
+        "faulty": faulty,
+        "goodput_ratio": goodput_ratio,
+        "wait_p99_ratio": wait_p99_ratio,
+        "per_round_goodput_ratios": goodput_ratios,
+        "per_round_wait_p99_ratios": wait_ratios,
+    }
+    path = write_results("serving_resilience", payload)
+
+    print()
+    print(format_table(
+        ["run", "goodput [req/s]", "wait p99 [ms]", "retries", "bisections"],
+        [
+            ["fault-free", clean["goodput_rps"], clean["wait_p99_s"] * 1e3,
+             clean["retries"], clean["bisections"]],
+            [f"{FAULT_RATE:.0%} faults", faulty["goodput_rps"],
+             faulty["wait_p99_s"] * 1e3, faulty["retries"],
+             faulty["bisections"]],
+        ],
+        title=(
+            f"serving resilience: {REQUESTS} requests, goodput ratio "
+            f"{payload['goodput_ratio']:.2f}x (floor {GOODPUT_FLOOR}), "
+            f"wait p99 ratio {payload['wait_p99_ratio']:.2f}x "
+            f"(ceiling {WAIT_P99_CEILING})"
+        ),
+    ))
+    print(f"results written to {path}")
+    return payload
+
+
+def test_serving_resilience_meets_gates():
+    payload = run_resilience_benchmark()
+    # Every request resolved correctly in both runs (asserted per-future in
+    # the trial; re-check the counts here).
+    assert payload["fault_free"]["succeeded"] == REQUESTS
+    assert payload["faulty"]["succeeded"] == REQUESTS
+    assert payload["faulty"]["failed"] == 0
+    # The fault path actually ran.
+    assert payload["faulty"]["retries"] >= 1
+    # Goodput under faults holds, and the tail stays bounded.
+    assert payload["goodput_ratio"] >= GOODPUT_FLOOR
+    assert payload["wait_p99_ratio"] <= WAIT_P99_CEILING
+
+
+if __name__ == "__main__":
+    run_resilience_benchmark()

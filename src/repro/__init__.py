@@ -7,8 +7,10 @@ Public API re-exported here:
 * compilation: :func:`compile` (the pipeline driver) and the low-level
   :func:`compile_sdfg`
 * AD: :func:`grad`, :func:`value_and_grad`
-* batching: :func:`vmap` (SDFG-level leading-axis vectorisation) and the
-  micro-batching :class:`BatchQueue` serving runtime
+* batching: :func:`vmap` (SDFG-level leading-axis vectorisation)
+* serving: the fault-tolerant micro-batching runtime — :class:`BatchQueue`
+  and :class:`CircuitBreaker` (see :mod:`repro.serve` and
+  ``docs/serving.md``)
 """
 
 from repro.frontend import (
@@ -36,7 +38,8 @@ from repro.pipeline import (
     PipelineReport,
     compile,
 )
-from repro.batching import BatchedProgram, BatchQueue, vmap
+from repro.batching import BatchedProgram, vmap
+from repro.serve import BatchQueue, CircuitBreaker
 
 __version__ = "1.2.0"
 
@@ -64,5 +67,6 @@ __all__ = [
     "vmap",
     "BatchedProgram",
     "BatchQueue",
+    "CircuitBreaker",
     "__version__",
 ]

@@ -11,11 +11,14 @@ requests (the serving direction of the ROADMAP):
   SDFG, so the optimization tiers, the cost model, reverse-mode AD and the
   compilation cache apply unchanged; ``vmap(grad(f))`` and
   ``grad(vmap(f))`` both work, and one cache entry serves every batch size.
-* **The runtime** (:mod:`repro.batching.serve`): :class:`BatchQueue`
-  coalesces per-sample requests into batched kernel calls (configurable
-  ``max_batch`` / ``max_wait_ms``, optional bucketed padding) and scatters
-  the results back to per-request futures, with synchronous and
-  thread-based async front-ends.
+* **The runtime**: :class:`BatchQueue` coalesces per-sample requests into
+  batched kernel calls (configurable ``max_batch`` / ``max_wait_ms``,
+  optional bucketed padding) and scatters the results back to per-request
+  futures, with synchronous and thread-based async front-ends.  The
+  fault-tolerant serving runtime it grew into lives in :mod:`repro.serve`
+  (deadlines, backpressure, supervision, bisection, circuit breaking —
+  ``docs/serving.md``); :mod:`repro.batching.serve` re-exports it here for
+  compatibility.
 
 See ``docs/batching.md`` for transform semantics, the batching-rules table
 and a serving walkthrough; ``benchmarks/bench_batching.py`` measures the

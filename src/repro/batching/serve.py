@@ -1,318 +1,34 @@
-"""Micro-batching executor: coalesce per-sample requests into batched calls.
+"""Compatibility re-export: the serving runtime moved to ``repro.serve``.
 
-:class:`BatchQueue` is the serving half of the batching subsystem.  Requests
-arrive one sample at a time (from many threads); a background worker
-coalesces them — up to ``max_batch`` samples, waiting at most ``max_wait_ms``
-after the first request of a batch — stacks the per-sample arrays along a new
-leading axis, optionally pads the stack up to a bucketed size, dispatches
-**one** call of a batched kernel (typically ``repro.vmap(f).compile()`` or a
-batched gradient function) and scatters the per-sample slices of the result
-back to the callers' futures.
+The micro-batching executor started life here as one module; the
+fault-tolerant serving runtime it grew into (deadlines, backpressure,
+supervision, batch bisection, circuit breaking — see ``docs/serving.md``)
+lives in the :mod:`repro.serve` package.  This module keeps the historical
+import path working::
 
-Because the batched kernel's batch dimension is *symbolic*, one compilation
-serves every batch size the queue ever forms; bucketing is therefore not a
-compilation-cache concern but a steady-state one (a handful of distinct
-shapes keeps allocator and BLAS paths warm).  Padding replicates the final
-sample — always a valid input — and padded outputs are dropped before
-scattering.
-
-Front-ends:
-
-* :meth:`BatchQueue.submit` — thread-based async: returns a
-  :class:`concurrent.futures.Future` immediately;
-* calling the queue — synchronous: submits and blocks for the result.
-
-::
-
-    batched = repro.vmap(program).compile(optimize="O3")
-    with BatchQueue(batched, max_batch=64, max_wait_ms=2.0) as queue:
-        future = queue.submit(x=sample, bias=b)     # async
-        y = queue(x=sample2, bias=b)                # sync
-        result = future.result()
+    from repro.batching.serve import BatchQueue   # still fine
+    from repro.serve import BatchQueue            # canonical
 """
 
-from __future__ import annotations
+from repro.serve.breaker import CircuitBreaker, numpy_fallback
+from repro.serve.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    QueueFullError,
+    RequestCancelled,
+    ServingError,
+)
+from repro.serve.runtime import BatchQueue, BatchStats, bucketed
 
-import queue as _queue_mod
-import threading
-import time
-from concurrent.futures import Future
-from dataclasses import dataclass, field
-from typing import Callable, Optional
-
-import numpy as np
-
-from repro.obs.clock import monotonic_ns
-from repro.obs.metrics import METRICS, Histogram
-from repro.obs.trace import span as _span
-
-# Process-wide serving metrics, fed alongside the per-queue BatchStats:
-# queue depth (samples submitted but not yet dispatched) plus the same
-# wait/dispatch latency distributions aggregated over every queue — see
-# docs/observability.md.
-_OBS_QUEUE_DEPTH = METRICS.gauge("serve.queue_depth")
-_OBS_WAIT = METRICS.histogram("serve.wait_seconds")
-_OBS_DISPATCH = METRICS.histogram("serve.dispatch_seconds")
-
-
-@dataclass
-class BatchStats:
-    """Counters describing how well the queue coalesced its traffic.
-
-    Besides the coalescing counters, two latency histograms record, per
-    queue, how long samples sat in the queue (``wait_seconds``: submit →
-    dispatch start) and how long batched-kernel dispatches took
-    (``dispatch_seconds``); ``wait_p50``/``wait_p99`` and
-    ``dispatch_p50``/``dispatch_p99`` summarise them (NaN before the first
-    dispatch).
-    """
-
-    requests: int = 0            #: samples submitted
-    batches: int = 0             #: batched kernel dispatches
-    batched_samples: int = 0     #: samples served through those dispatches
-    padded_samples: int = 0      #: padding rows added by bucketing
-    max_batch_observed: int = 0  #: largest batch dispatched (pre-padding)
-    batch_sizes: dict[int, int] = field(default_factory=dict)  #: dispatched size -> count
-    #: queue-wait distribution in seconds (submit → dispatch start)
-    wait_seconds: Histogram = field(default_factory=Histogram, repr=False)
-    #: batched-kernel dispatch duration distribution in seconds
-    dispatch_seconds: Histogram = field(default_factory=Histogram, repr=False)
-
-    @property
-    def mean_batch(self) -> float:
-        """Average samples per dispatch (0.0 before the first dispatch)."""
-        return self.batched_samples / self.batches if self.batches else 0.0
-
-    @property
-    def wait_p50(self) -> float:
-        """Median queue wait in seconds (NaN before the first dispatch)."""
-        return self.wait_seconds.p50
-
-    @property
-    def wait_p99(self) -> float:
-        """99th-percentile queue wait in seconds."""
-        return self.wait_seconds.p99
-
-    @property
-    def dispatch_p50(self) -> float:
-        """Median dispatch duration in seconds."""
-        return self.dispatch_seconds.p50
-
-    @property
-    def dispatch_p99(self) -> float:
-        """99th-percentile dispatch duration in seconds."""
-        return self.dispatch_seconds.p99
-
-
-@dataclass
-class _Request:
-    kwargs: dict
-    future: Future
-    enqueued_ns: int = 0
-
-
-_SHUTDOWN = object()
-
-
-def bucketed(size: int, max_batch: int) -> int:
-    """Round ``size`` up to the next power of two, capped at ``max_batch``."""
-    bucket = 1
-    while bucket < size:
-        bucket *= 2
-    return min(bucket, max_batch)
-
-
-class BatchQueue:
-    """Coalesces per-sample requests into calls of one batched function.
-
-    Parameters
-    ----------
-    batched_fn:
-        Callable accepting keyword arguments stacked along a leading batch
-        axis and returning an array, a dict of arrays, or a (nested)
-        tuple/list of them, each with the batch axis leading.  A compiled
-        ``repro.vmap`` program or a batched
-        :class:`~repro.autodiff.GradientFunction` fits directly.
-    max_batch:
-        Largest number of samples dispatched in one call.
-    max_wait_ms:
-        How long the worker waits for more samples after the first request
-        of a batch arrived.  ``0`` dispatches whatever is immediately
-        available (lowest latency, least coalescing).
-    bucket:
-        Pad each dispatch up to a power-of-two size (see :func:`bucketed`)
-        by replicating the final sample; padded outputs are discarded.
-    static_kwargs:
-        Values passed to every dispatch unchanged — broadcast operands
-        (``in_axes=None`` arguments) and symbol bindings.
-    start:
-        Start the worker thread immediately.  With ``start=False`` requests
-        queue up until :meth:`start` is called — deterministic batch
-        formation, used by tests and warm-up code.
-    """
-
-    def __init__(
-        self,
-        batched_fn: Callable,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
-        bucket: bool = False,
-        static_kwargs: Optional[dict] = None,
-        start: bool = True,
-    ) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        self.batched_fn = batched_fn
-        self.max_batch = int(max_batch)
-        self.max_wait_ms = float(max_wait_ms)
-        self.bucket = bucket
-        self.static_kwargs = dict(static_kwargs or {})
-        self.stats = BatchStats()
-        self._queue: "_queue_mod.SimpleQueue" = _queue_mod.SimpleQueue()
-        self._worker: Optional[threading.Thread] = None
-        self._closed = False
-        self._lock = threading.Lock()
-        if start:
-            self.start()
-
-    # -- lifecycle -------------------------------------------------------
-    def start(self) -> "BatchQueue":
-        """Start the worker thread (idempotent)."""
-        with self._lock:
-            if self._worker is None:
-                self._worker = threading.Thread(
-                    target=self._run, name="repro-batch-queue", daemon=True
-                )
-                self._worker.start()
-        return self
-
-    def close(self) -> None:
-        """Stop accepting requests, drain the queue and join the worker."""
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-        self._queue.put(_SHUTDOWN)
-        if self._worker is not None:
-            self._worker.join()
-
-    def __enter__(self) -> "BatchQueue":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- front-ends ------------------------------------------------------
-    def submit(self, **sample) -> Future:
-        """Enqueue one sample; returns a future resolving to its result."""
-        future: Future = Future()
-        # The closed-check and the enqueue must be one atomic step against
-        # close(): otherwise a racing close() could drain the queue and join
-        # the worker *between* them, leaving this future pending forever.
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("BatchQueue is closed")
-            self.stats.requests += 1
-            self._queue.put(
-                _Request(kwargs=sample, future=future, enqueued_ns=monotonic_ns())
-            )
-            _OBS_QUEUE_DEPTH.inc()
-        return future
-
-    def __call__(self, **sample):
-        """Synchronous front-end: submit and wait for the result."""
-        if self._worker is None:
-            raise RuntimeError("BatchQueue worker not started; call start()")
-        return self.submit(**sample).result()
-
-    # -- worker ----------------------------------------------------------
-    def _run(self) -> None:
-        shutdown = False
-        while not shutdown:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                break
-            batch = [item]
-            deadline = time.monotonic() + self.max_wait_ms / 1e3
-            while len(batch) < self.max_batch:
-                timeout = deadline - time.monotonic()
-                try:
-                    if timeout > 0:
-                        extra = self._queue.get(timeout=timeout)
-                    else:
-                        extra = self._queue.get_nowait()
-                except _queue_mod.Empty:
-                    break
-                if extra is _SHUTDOWN:
-                    shutdown = True
-                    break
-                batch.append(extra)
-            self._dispatch(batch)
-        # Fail whatever is still queued after shutdown.
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except _queue_mod.Empty:
-                break
-            if item is not _SHUTDOWN:
-                _OBS_QUEUE_DEPTH.dec()
-                item.future.set_exception(RuntimeError("BatchQueue closed"))
-
-    def _dispatch(self, batch: list) -> None:
-        size = len(batch)
-        start_ns = monotonic_ns()
-        _OBS_QUEUE_DEPTH.dec(size)
-        for request in batch:
-            if request.enqueued_ns:
-                waited = (start_ns - request.enqueued_ns) / 1e9
-                self.stats.wait_seconds.observe(waited)
-                _OBS_WAIT.observe(waited)
-        stacked = {}
-        names = list(batch[0].kwargs)
-        try:
-            for request in batch:
-                if list(request.kwargs) != names:
-                    raise ValueError(
-                        f"Inconsistent sample arguments: {sorted(request.kwargs)} "
-                        f"vs {sorted(names)}"
-                    )
-            padded = bucketed(size, self.max_batch) if self.bucket else size
-            for name in names:
-                rows = [np.asarray(request.kwargs[name]) for request in batch]
-                rows.extend([rows[-1]] * (padded - size))
-                stacked[name] = np.stack(rows, axis=0)
-            with _span("batch.dispatch", size=size, padded=padded):
-                call_start_ns = monotonic_ns()
-                result = self.batched_fn(**stacked, **self.static_kwargs)
-                elapsed = (monotonic_ns() - call_start_ns) / 1e9
-        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
-            for request in batch:
-                request.future.set_exception(exc)
-            return
-        self.stats.dispatch_seconds.observe(elapsed)
-        _OBS_DISPATCH.observe(elapsed)
-        self.stats.batches += 1
-        self.stats.batched_samples += size
-        self.stats.padded_samples += padded - size
-        self.stats.max_batch_observed = max(self.stats.max_batch_observed, size)
-        self.stats.batch_sizes[padded] = self.stats.batch_sizes.get(padded, 0) + 1
-        for position, request in enumerate(batch):
-            try:
-                request.future.set_result(_scatter(result, position))
-            except BaseException as exc:  # noqa: BLE001
-                request.future.set_exception(exc)
-
-
-def _scatter(result, position: int):
-    """Per-sample slice of a batched result (arrays along axis 0; dicts,
-    tuples and lists element-wise)."""
-    if isinstance(result, np.ndarray):
-        return result[position]
-    if isinstance(result, dict):
-        return {key: _scatter(value, position) for key, value in result.items()}
-    if isinstance(result, (tuple, list)):
-        return type(result)(_scatter(value, position) for value in result)
-    raise TypeError(
-        f"Batched function returned {type(result).__name__}; expected an "
-        "ndarray, dict, tuple or list of batched arrays"
-    )
+__all__ = [
+    "BatchQueue",
+    "BatchStats",
+    "bucketed",
+    "CircuitBreaker",
+    "numpy_fallback",
+    "ServingError",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "QueueFullError",
+    "CircuitOpenError",
+]

@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the serving runtime.
+
+Chaos engineering needs failures on demand, reproducibly: a seeded
+:class:`FaultPlan` (:mod:`repro.faults.plan`) schedules kernel exceptions
+(random transients, scheduled calls, persistent outage windows, poison
+samples), latency spikes and nothing else; the one-line kernel wrapper
+:func:`inject` (:mod:`repro.faults.inject`) consults it before every
+batched call.  The fixed-seed chaos campaign
+(:mod:`repro.faults.campaign`, CLI ``python -m repro.faults``) drives the
+full serving stack through seeded scenarios and enforces the chaos
+invariant in CI — see ``docs/serving.md``.
+"""
+
+from repro.faults.inject import inject
+from repro.faults.plan import FaultPlan, InjectedFault, batch_rows, poison_marker
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "inject",
+    "poison_marker",
+    "batch_rows",
+]

@@ -1,0 +1,13 @@
+"""CLI entry point: ``python -m repro.faults`` runs the chaos campaign.
+
+See :mod:`repro.faults.campaign` for the scenarios and the chaos
+invariant; ``--seed``/``--requests`` control the schedule, ``--out``
+writes the JSON report (uploaded as a CI artifact).
+"""
+
+import sys
+
+from repro.faults.campaign import main
+
+if __name__ == "__main__":
+    sys.exit(main())

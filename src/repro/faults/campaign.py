@@ -1,0 +1,369 @@
+"""The fixed-seed chaos campaign: prove the serving runtime degrades, never dies.
+
+``run_campaign`` drives the real serving stack — a compiled
+``repro.vmap`` kernel behind a :class:`~repro.serve.runtime.BatchQueue` —
+through four seeded fault scenarios and checks the chaos invariant on each
+(the serving counterpart of the differential fuzzer's fixed-seed
+campaigns, see ``docs/fuzzing.md``):
+
+1. **bisection** — 1% transient faults plus latency spikes plus one
+   persistent poison sample: every non-poison request must resolve with
+   the correct result, the poison sample alone gets the injected failure,
+   and the retry/bisection counters move;
+2. **breaker** — a persistent primary outage window trips the circuit
+   breaker to the NumPy-backend fallback, the recovery probe closes it
+   once the outage ends, and breaker-state transition spans are recorded;
+3. **lifecycle** — shed-oldest under overload, deadline expiry while
+   queued, and caller-side cancellation, each resolving with its typed
+   error while the worker keeps serving;
+4. **supervision** — an injected supervisor-level crash fails only the
+   in-flight batch, restarts the worker and later requests are served.
+
+Across all scenarios: no future may hang, no worker thread may leak, and
+the ``serve.{retries,shed,breaker_open}_total`` counters plus breaker
+transition spans must appear in the obs snapshot.  The report (JSON) is
+written by the CLI (``python -m repro.faults``) and uploaded as a CI
+artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.inject import inject
+from repro.faults.plan import FaultPlan, InjectedFault, poison_marker
+from repro.obs import METRICS, TRACER, metrics_snapshot
+from repro.serve import (
+    BatchQueue,
+    CircuitBreaker,
+    DeadlineExceeded,
+    RequestCancelled,
+    numpy_fallback,
+)
+
+#: Per-sample problem size for the campaign kernel (small: the campaign
+#: exercises the runtime, not the kernel).
+SAMPLE_SIZE = {"N": 8, "M": 8}
+AXES = {"x": 0, "r": 0, "bias": None}
+POISON_VALUE = 1e30
+RESULT_TIMEOUT = 60.0
+
+
+def _counter(name: str) -> int:
+    metric = METRICS.get(name)
+    return int(metric.value) if metric is not None else 0
+
+
+def _build_kernel():
+    """The campaign workload: vmapped ``bias_act`` plus its per-sample oracle."""
+    import repro
+    from repro.npbench import get_kernel
+
+    spec = get_kernel("bias_act")
+    program = spec.program_for()
+    batched_program = repro.vmap(program, in_axes=AXES)
+    batched = batched_program.compile(optimize="O1")
+    base = program.compile(optimize="O1")
+    data = [
+        spec.initialize(**SAMPLE_SIZE, seed=1000 + index) for index in range(4)
+    ]
+    bias = data[0]["bias"]
+    return batched_program, batched, base, bias
+
+
+def _sample(index: int) -> dict:
+    rng = np.random.default_rng(index)
+    return {
+        "x": rng.random((SAMPLE_SIZE["N"], SAMPLE_SIZE["M"])) - 0.25,
+        "r": rng.random((SAMPLE_SIZE["N"], SAMPLE_SIZE["M"])),
+    }
+
+
+def scenario_bisection(seed: int, requests: int, batched, base, bias) -> dict:
+    """Transients + latency spikes + one poison sample through bisection."""
+    plan = FaultPlan(
+        seed=seed,
+        transient_rate=0.01,
+        latency_rate=0.02,
+        latency_ms=2.0,
+        fail_calls=(3, 11),
+        poison=poison_marker("x", POISON_VALUE),
+    )
+    before = {name: _counter(name) for name in (
+        "serve.retries_total", "serve.bisections_total", "serve.failed_requests_total",
+    )}
+    queue = BatchQueue(
+        inject(batched, plan), max_batch=4, max_wait_ms=1.0,
+        static_kwargs={"bias": bias}, max_retries=2, backoff_ms=0.5,
+        backoff_cap_ms=4.0,
+    )
+    poison_at = requests // 2
+    with queue:
+        queue.hold()
+        futures = []
+        for index in range(requests):
+            sample = _sample(index)
+            if index == poison_at:
+                sample["x"] = sample["x"].copy()
+                sample["x"].flat[0] = POISON_VALUE
+            futures.append(queue.submit(**sample))
+        queue.release()
+        outcomes = []
+        for index, future in enumerate(futures):
+            try:
+                outcomes.append(("ok", future.result(timeout=RESULT_TIMEOUT)))
+            except BaseException as exc:  # noqa: BLE001 - recorded below
+                outcomes.append(("error", exc))
+        # The worker must survive the whole storm.
+        survivor = queue.submit(**_sample(requests + 1)).result(timeout=RESULT_TIMEOUT)
+    wrong, non_poison_failed, poison_ok = [], [], True
+    for index, (status, value) in enumerate(outcomes):
+        if index == poison_at:
+            poison_ok = status == "error" and isinstance(value, InjectedFault)
+            continue
+        if status != "ok":
+            non_poison_failed.append((index, repr(value)))
+        else:
+            want = base(**_sample(index), bias=bias)
+            if not np.allclose(value, want, rtol=1e-9):
+                wrong.append(index)
+    retries = _counter("serve.retries_total") - before["serve.retries_total"]
+    bisections = _counter("serve.bisections_total") - before["serve.bisections_total"]
+    return {
+        "requests": requests,
+        "injected": dict(plan.injected),
+        "kernel_calls": plan.calls,
+        "retries": retries,
+        "bisections": bisections,
+        "poison_failed_alone": poison_ok and not non_poison_failed,
+        "non_poison_failures": non_poison_failed,
+        "wrong_results": wrong,
+        "worker_survived": bool(np.isfinite(survivor)),
+        "stats": {
+            "batches": queue.stats.batches,
+            "mean_batch": queue.stats.mean_batch,
+            "failed": queue.stats.failed,
+        },
+        "ok": (
+            poison_ok and not non_poison_failed and not wrong
+            and retries > 0 and bisections > 0
+        ),
+    }
+
+
+def scenario_breaker(seed: int, batched_program, batched, base, bias) -> dict:
+    """Persistent outage trips the breaker to the NumPy fallback; the
+    recovery probe closes it once the outage window ends."""
+    plan = FaultPlan(seed=seed + 1, outage=(0, 6))
+    breaker = CircuitBreaker(
+        inject(batched, plan),
+        fallback=numpy_fallback(batched_program, optimize="O1"),
+        failure_threshold=3,
+        reset_timeout_ms=30.0,
+        name="campaign",
+    )
+    spans_before = sum(
+        1 for record in TRACER.spans() if record.name == "serve.breaker.transition"
+    )
+    opened_before = _counter("serve.breaker_open_total")
+    fallback_before = _counter("serve.breaker_fallback_total")
+    results = []
+    with BatchQueue(
+        breaker, max_batch=4, max_wait_ms=0.0, static_kwargs={"bias": bias},
+        max_retries=1, backoff_ms=0.5, backoff_cap_ms=4.0,
+    ) as queue:
+        for index in range(10):
+            sample = _sample(2000 + index)
+            want = base(**sample, bias=bias)
+            try:
+                got = queue(**sample)
+                results.append(("ok", bool(np.allclose(got, want, rtol=1e-9))))
+            except BaseException as exc:  # noqa: BLE001 - pre-trip failures
+                results.append(("error", isinstance(exc, InjectedFault)))
+            time.sleep(0.04)  # let the breaker cooldown elapse between calls
+    opened = _counter("serve.breaker_open_total") - opened_before
+    fallback_calls = _counter("serve.breaker_fallback_total") - fallback_before
+    transitions = sum(
+        1 for record in TRACER.spans() if record.name == "serve.breaker.transition"
+    ) - spans_before
+    served_ok = sum(1 for status, good in results if status == "ok" and good)
+    typed_failures = all(good for status, good in results if status == "error")
+    return {
+        "results": [status for status, _ in results],
+        "served_correctly": served_ok,
+        "breaker_open_total": opened,
+        "breaker_fallback_total": fallback_calls,
+        "transition_spans": transitions,
+        "final_state": breaker.state,
+        "ok": (
+            opened >= 1 and fallback_calls >= 1 and served_ok >= 6
+            and typed_failures and breaker.state == "closed"
+            and transitions >= 2
+        ),
+    }
+
+
+def scenario_lifecycle(batched, bias) -> dict:
+    """Shed-oldest under overload, deadline expiry, caller cancellation."""
+    shed_before = _counter("serve.shed_total")
+    expired_before = _counter("serve.deadline_expired_total")
+    with BatchQueue(
+        batched, max_batch=4, max_wait_ms=1.0, static_kwargs={"bias": bias},
+        max_pending=4, policy="shed_oldest",
+    ) as queue:
+        queue.hold()
+        futures = [queue.submit(**_sample(3000 + index)) for index in range(10)]
+        deadline_future = queue.submit(timeout_ms=5.0, **_sample(3100))
+        cancel_future = queue.submit(**_sample(3101))
+        cancelled = cancel_future.cancel()
+        time.sleep(0.05)  # let the deadline pass while staged
+        queue.release()
+        outcomes = {"shed": 0, "served": 0, "other": 0}
+        for future in futures:
+            try:
+                future.result(timeout=RESULT_TIMEOUT)
+                outcomes["served"] += 1
+            except RequestCancelled:
+                outcomes["shed"] += 1
+            except BaseException:  # noqa: BLE001
+                outcomes["other"] += 1
+        try:
+            deadline_future.result(timeout=RESULT_TIMEOUT)
+            deadline_ok = False
+        except DeadlineExceeded:
+            deadline_ok = True
+        except BaseException:  # noqa: BLE001
+            deadline_ok = False
+        # The worker shrugs all of it off.
+        queue.submit(**_sample(3200)).result(timeout=RESULT_TIMEOUT)
+    shed = _counter("serve.shed_total") - shed_before
+    expired = _counter("serve.deadline_expired_total") - expired_before
+    return {
+        "outcomes": outcomes,
+        "shed_total": shed,
+        "deadline_expired_total": expired,
+        "cancelled_accepted": cancelled,
+        "deadline_ok": deadline_ok,
+        "ok": (
+            outcomes["shed"] >= 1 and outcomes["served"] >= 1
+            and outcomes["other"] == 0 and shed >= 1 and expired >= 1
+            and deadline_ok and cancelled
+        ),
+    }
+
+
+def scenario_supervision(batched, bias) -> dict:
+    """An injected supervisor-level crash restarts the worker; the
+    in-flight batch fails with the crash, later requests are served."""
+    restarts_before = _counter("serve.worker_restarts_total")
+    queue = BatchQueue(
+        batched, max_batch=4, max_wait_ms=1.0, static_kwargs={"bias": bias}
+    )
+    original_dispatch = queue._dispatch
+    crashed = threading.Event()
+
+    def crash_once(batch):
+        if not crashed.is_set():
+            crashed.set()
+            raise RuntimeError("injected supervisor-level crash")
+        return original_dispatch(batch)
+
+    queue._dispatch = crash_once
+    with queue:
+        doomed = queue.submit(**_sample(4000))
+        try:
+            doomed.result(timeout=RESULT_TIMEOUT)
+            crash_surfaced = False
+        except RuntimeError as exc:
+            crash_surfaced = "supervisor-level crash" in str(exc)
+        survivor = queue.submit(**_sample(4001)).result(timeout=RESULT_TIMEOUT)
+    restarts = _counter("serve.worker_restarts_total") - restarts_before
+    return {
+        "crash_surfaced": crash_surfaced,
+        "worker_restarts": restarts,
+        "served_after_restart": bool(np.isfinite(survivor)),
+        "ok": crash_surfaced and restarts >= 1 and bool(np.isfinite(survivor)),
+    }
+
+
+def _serving_threads() -> list:
+    return [
+        thread.name for thread in threading.enumerate()
+        if thread.name.startswith("repro-batch-queue") and thread.is_alive()
+    ]
+
+
+def run_campaign(seed: int = 0, requests: int = 200,
+                 enable_tracing: bool = True) -> dict:
+    """Run every scenario under one seed and return the campaign report."""
+    was_enabled = TRACER.enabled
+    if enable_tracing and not was_enabled:
+        TRACER.enable()
+    try:
+        batched_program, batched, base, bias = _build_kernel()
+        scenarios = {
+            "bisection": scenario_bisection(seed, requests, batched, base, bias),
+            "breaker": scenario_breaker(seed, batched_program, batched, base, bias),
+            "lifecycle": scenario_lifecycle(batched, bias),
+            "supervision": scenario_supervision(batched, bias),
+        }
+        leaked = _serving_threads()
+        snapshot = metrics_snapshot()
+        counters = snapshot.get("counters", {})
+        counters_present = all(
+            name in counters and counters[name] > 0
+            for name in (
+                "serve.retries_total", "serve.shed_total", "serve.breaker_open_total",
+            )
+        )
+        report = {
+            "campaign": "serving-chaos",
+            "seed": seed,
+            "requests": requests,
+            "scenarios": scenarios,
+            "leaked_worker_threads": leaked,
+            "counters_present": counters_present,
+            "metrics": snapshot,
+            "ok": (
+                all(result["ok"] for result in scenarios.values())
+                and not leaked and counters_present
+            ),
+        }
+        return report
+    finally:
+        if enable_tracing and not was_enabled:
+            TRACER.disable()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI: run the campaign, print a summary, write the JSON report."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Fixed-seed chaos campaign against the serving runtime",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--out", default=None, help="path for the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_campaign(seed=args.seed, requests=args.requests)
+    for name, result in report["scenarios"].items():
+        print(f"  scenario {name:12s}: {'ok' if result['ok'] else 'FAILED'}")
+    print(f"chaos campaign (seed {args.seed}): "
+          f"{'ok' if report['ok'] else 'INVARIANT VIOLATED'}")
+    if args.out:
+        import os
+
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, default=repr)
+            handle.write("\n")
+        print(f"report -> {args.out}")
+    return 0 if report["ok"] else 1

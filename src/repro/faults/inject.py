@@ -1,0 +1,31 @@
+"""The kernel wrapper that consults a :class:`~repro.faults.plan.FaultPlan`.
+
+:func:`inject` is deliberately tiny: it wraps any batched callable so that
+every call first asks the plan whether to spike latency or raise an
+:class:`~repro.faults.plan.InjectedFault`, then delegates.  Because the
+wrapper sits *inside* the serving stack (queue → breaker → injected
+kernel), every resilience mechanism sees injected faults exactly where
+real kernel failures would surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import FaultPlan
+
+
+def inject(fn: Callable, plan: FaultPlan) -> Callable:
+    """Wrap ``fn`` so ``plan`` decides each call's fate before it runs.
+
+    The returned callable exposes the plan as ``.plan`` and the wrapped
+    callable as ``.__wrapped__`` for introspection.
+    """
+
+    def faulty(**kwargs):
+        plan.on_call(kwargs)
+        return fn(**kwargs)
+
+    faulty.plan = plan
+    faulty.__wrapped__ = fn
+    return faulty

@@ -1,0 +1,179 @@
+"""Seeded fault plans: *what* fails, *when*, and *how persistently*.
+
+A :class:`FaultPlan` is a deterministic schedule of injected failures for
+the serving runtime's kernel wrapper (:func:`repro.faults.inject.inject`).
+Given the same seed and the same sequence of calls it makes exactly the
+same decisions, so chaos tests and the CI chaos campaign
+(:mod:`repro.faults.campaign`) are reproducible — the same philosophy as
+the differential fuzzer's fixed-seed campaigns (``docs/fuzzing.md``).
+
+Fault kinds, checked in this order on every wrapped call:
+
+* **latency spikes** — with probability ``latency_rate``, sleep
+  ``latency_ms`` before executing (tail-latency pressure, no error);
+* **poison samples** — if the ``poison`` predicate matches any row of the
+  stacked batch, raise a *persistent* :class:`InjectedFault`: the call
+  fails every time that sample is present, which is exactly what batch
+  bisection must isolate (:func:`poison_marker` builds the common
+  marker-value predicate);
+* **outage windows** — ``outage=(start, end)`` fails every call with index
+  in ``[start, end)`` persistently (``end=None`` = forever): the schedule
+  that trips the circuit breaker and then lets its recovery probe succeed;
+* **scheduled transients** — call indices in ``fail_calls`` fail once;
+* **random transients** — with probability ``transient_rate`` a call fails
+  once; the retry re-rolls (and almost always succeeds), modelling flaky
+  kernels/hardware.
+
+``plan.injected`` counts what actually fired, for reports and asserts.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected kernel failure.
+
+    ``kind`` is ``"transient"`` (a retry may succeed), ``"persistent"``
+    (an outage window) or ``"poison"`` (tied to a specific sample).
+    """
+
+    def __init__(self, message: str, kind: str = "transient") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+    @property
+    def persistent(self) -> bool:
+        return self.kind in ("persistent", "poison")
+
+
+def poison_marker(name: str, value: float) -> Callable[[dict], bool]:
+    """Predicate matching samples whose ``name`` argument starts with
+    ``value`` — the standard way chaos tests mark one request as poison."""
+
+    def predicate(row: dict) -> bool:
+        arr = np.asarray(row.get(name))
+        return arr.size > 0 and float(arr.flat[0]) == float(value)
+
+    return predicate
+
+
+def batch_rows(kwargs: dict):
+    """Iterate the per-sample rows of stacked batch kwargs.
+
+    The batch size is taken from the leading dimension of the first array
+    argument (the batch queue passes stacked per-sample arguments first,
+    broadcast ``static_kwargs`` after); arguments whose leading dimension
+    differs (broadcast operands, scalars) are passed through unsliced.
+    """
+    batch = None
+    for value in kwargs.values():
+        arr = np.asarray(value)
+        if arr.ndim >= 1:
+            batch = arr.shape[0]
+            break
+    if batch is None:
+        yield dict(kwargs)
+        return
+    for index in range(batch):
+        row = {}
+        for name, value in kwargs.items():
+            arr = np.asarray(value)
+            if arr.ndim >= 1 and arr.shape[0] == batch:
+                row[name] = arr[index]
+            else:
+                row[name] = value
+        yield row
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    Thread-safe: the call counter and RNG draws are serialised, and every
+    call consumes exactly two RNG rolls (latency, transient) regardless of
+    which branches fire, so decision streams never shift when parameters
+    change.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_ms: float = 0.0
+    fail_calls: Tuple[int, ...] = ()
+    outage: Optional[Tuple[int, Optional[int]]] = None
+    poison: Optional[Callable[[dict], bool]] = None
+    #: Counts of faults that actually fired, by kind (plus "latency").
+    injected: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._calls = 0
+        self._lock = threading.Lock()
+        self.injected = {"latency": 0, "poison": 0, "persistent": 0, "transient": 0}
+        self._fail_calls = frozenset(self.fail_calls)
+
+    @property
+    def calls(self) -> int:
+        """Number of wrapped calls decided so far."""
+        return self._calls
+
+    def reset(self) -> None:
+        """Rewind to call 0 with a fresh RNG stream (same seed)."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._calls = 0
+            for key in self.injected:
+                self.injected[key] = 0
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def on_call(self, kwargs: dict) -> None:
+        """Decide this call's fate: may sleep, may raise :class:`InjectedFault`."""
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+            latency_roll = self._rng.random()
+            transient_roll = self._rng.random()
+            spike = self.latency_rate > 0 and latency_roll < self.latency_rate
+            if spike:
+                self._count("latency")
+        if spike and self.latency_ms > 0:
+            import time
+
+            time.sleep(self.latency_ms / 1e3)
+        if self.poison is not None:
+            for row in batch_rows(kwargs):
+                if self.poison(row):
+                    with self._lock:
+                        self._count("poison")
+                    raise InjectedFault(
+                        f"injected poison sample (call {index})", kind="poison"
+                    )
+        if self.outage is not None:
+            start, end = self.outage
+            if index >= start and (end is None or index < end):
+                with self._lock:
+                    self._count("persistent")
+                raise InjectedFault(
+                    f"injected persistent outage (call {index})", kind="persistent"
+                )
+        if index in self._fail_calls:
+            with self._lock:
+                self._count("transient")
+            raise InjectedFault(
+                f"injected scheduled transient fault (call {index})"
+            )
+        if self.transient_rate > 0 and transient_roll < self.transient_rate:
+            with self._lock:
+                self._count("transient")
+            raise InjectedFault(
+                f"injected random transient fault (call {index})"
+            )

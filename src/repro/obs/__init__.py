@@ -55,6 +55,7 @@ from repro.obs.trace import (
     enable,
     is_enabled,
     load_spans,
+    set_sampling,
     span,
 )
 
@@ -71,6 +72,7 @@ __all__ = [
     "enable",
     "disable",
     "is_enabled",
+    "set_sampling",
     "load_spans",
     "Counter",
     "Gauge",

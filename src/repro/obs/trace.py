@@ -25,6 +25,7 @@ loop).  Enable with :func:`enable` (or ``Tracer.enable``), snapshot with
 from __future__ import annotations
 
 import json
+import random
 import threading
 from collections import deque
 from typing import Optional
@@ -152,6 +153,8 @@ class Tracer:
     def __init__(self, capacity: int = 65536, enabled: bool = False) -> None:
         self.capacity = capacity
         self.enabled = enabled
+        self.sample_rate = 1.0
+        self._sample_rng = random.Random()
         self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
         self._local = threading.local()
 
@@ -168,6 +171,27 @@ class Tracer:
         self.enabled = False
         return self
 
+    def set_sampling(self, rate: float, seed: Optional[int] = None) -> "Tracer":
+        """Keep only ``rate`` of spans (0.0–1.0) while tracing is enabled.
+
+        High-QPS serving traces every dispatch; sampling keeps the ring
+        buffer representative without paying full per-span cost.  Each
+        candidate span is kept independently with probability ``rate``
+        (nesting is not preserved across the cut — a kept child may have a
+        dropped parent).  ``seed`` makes the keep/drop sequence
+        deterministic for tests and fixed-seed campaigns; ``rate=1.0``
+        restores record-everything."""
+        self.sample_rate = min(max(float(rate), 0.0), 1.0)
+        if seed is not None:
+            self._sample_rng = random.Random(seed)
+        return self
+
+    def _sampled(self) -> bool:
+        return (
+            self.sample_rate >= 1.0
+            or self._sample_rng.random() < self.sample_rate
+        )
+
     def clear(self) -> None:
         self._buffer.clear()
 
@@ -180,15 +204,16 @@ class Tracer:
         return stack
 
     def span(self, name: str, **attrs):
-        """A context manager tracing one interval (no-op while disabled)."""
-        if not self.enabled:
+        """A context manager tracing one interval (no-op while disabled or
+        dropped by sampling)."""
+        if not self.enabled or not self._sampled():
             return NOOP_SPAN
         return _Span(self, name, attrs)
 
     def record(self, name: str, start_ns: int, duration_ns: int, **attrs) -> None:
         """Append an already-timed interval (for instrumentation that must
         time unconditionally and only *report* when tracing is on)."""
-        if not self.enabled:
+        if not self.enabled or not self._sampled():
             return
         thread = threading.current_thread()
         self._buffer.append(
@@ -256,7 +281,7 @@ TRACER = Tracer()
 def span(name: str, **attrs):
     """Open a span on the default tracer (no-op while tracing is disabled)."""
     tracer = TRACER
-    if not tracer.enabled:
+    if not tracer.enabled or not tracer._sampled():
         return NOOP_SPAN
     return _Span(tracer, name, attrs)
 
@@ -273,3 +298,9 @@ def disable() -> Tracer:
 
 def is_enabled() -> bool:
     return TRACER.enabled
+
+
+def set_sampling(rate: float, seed: Optional[int] = None) -> Tracer:
+    """Set the default tracer's span sampling rate (see
+    :meth:`Tracer.set_sampling`)."""
+    return TRACER.set_sampling(rate, seed)

@@ -1,0 +1,43 @@
+"""Typed errors of the serving runtime.
+
+Every way a request can fail without a result is a distinct exception
+type, so callers can route on them (retry elsewhere, surface a 429/503,
+log and drop) instead of string-matching ``RuntimeError`` messages:
+
+* :class:`DeadlineExceeded` — the request's ``timeout_ms`` budget elapsed
+  while it sat in the queue (checked on admission *and* again right before
+  it is padded into a batch);
+* :class:`RequestCancelled` — the server dropped the request before
+  dispatch: shed under ``shed_oldest`` backpressure, or still queued when
+  the queue closed;
+* :class:`QueueFullError` — ``submit()`` on a full bounded queue under the
+  ``reject`` policy;
+* :class:`CircuitOpenError` — the circuit breaker is open and no fallback
+  callable was configured.
+
+All derive from :class:`ServingError` (itself a ``RuntimeError``), so one
+``except ServingError`` catches every runtime-originated failure while
+kernel exceptions pass through untouched.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base class of every error raised by the serving runtime itself."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline passed before it could be dispatched."""
+
+
+class RequestCancelled(ServingError):
+    """The server dropped the request pre-dispatch (shed or shutdown)."""
+
+
+class QueueFullError(ServingError):
+    """The bounded queue is full and the backpressure policy is ``reject``."""
+
+
+class CircuitOpenError(ServingError):
+    """The circuit breaker is open and no fallback callable is configured."""

@@ -46,6 +46,8 @@ DOCUMENTED_PACKAGES = (
     "src/repro/codegen/cython_backend",
     "src/repro/fuzz",
     "src/repro/obs",
+    "src/repro/serve",
+    "src/repro/faults",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

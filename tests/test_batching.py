@@ -383,14 +383,15 @@ class TestBatchQueue:
         compiled = self._batched_bias_act()
         base = make_bias_act().compile()
         queue = BatchQueue(
-            compiled, max_batch=8, max_wait_ms=50.0, start=False,
+            compiled, max_batch=8, max_wait_ms=50.0,
             static_kwargs={"bias": data["bias"]},
         )
         with queue:
+            queue.hold()  # stage requests for deterministic batch formation
             futures = [
                 queue.submit(x=data["x"][b], r=data["r"][b]) for b in range(10)
             ]
-            queue.start()
+            queue.release()
             results = [future.result(timeout=30) for future in futures]
         want = [
             base(x=data["x"][b], r=data["r"][b], bias=data["bias"])
@@ -434,12 +435,13 @@ class TestBatchQueue:
         data = bias_act_data(batch=3, seed=4)
         compiled = self._batched_bias_act()
         queue = BatchQueue(
-            compiled, max_batch=8, max_wait_ms=50.0, bucket=True, start=False,
+            compiled, max_batch=8, max_wait_ms=50.0, bucket=True,
             static_kwargs={"bias": data["bias"]},
         )
         with queue:
+            queue.hold()
             futures = [queue.submit(x=data["x"][b], r=data["r"][b]) for b in range(3)]
-            queue.start()
+            queue.release()
             results = [future.result(timeout=30) for future in futures]
         base = make_bias_act().compile()
         want = [base(x=data["x"][b], r=data["r"][b], bias=data["bias"]) for b in range(3)]

@@ -422,10 +422,10 @@ class TestLayerInstrumentation:
         def batched(x):
             return x * 2.0
 
-        with BatchQueue(batched, max_batch=4, max_wait_ms=1.0,
-                        start=False) as queue:
+        with BatchQueue(batched, max_batch=4, max_wait_ms=1.0) as queue:
+            queue.hold()
             futures = [queue.submit(x=np.full(3, float(i))) for i in range(4)]
-            queue.start()
+            queue.release()
             for index, future in enumerate(futures):
                 np.testing.assert_allclose(future.result(), 2.0 * index)
         assert queue.stats.wait_seconds.count == 4
@@ -443,10 +443,10 @@ class TestLayerInstrumentation:
     def test_batch_dispatch_span(self):
         obs.enable()
         try:
-            with BatchQueue(lambda x: x + 1.0, max_batch=2, max_wait_ms=0.5,
-                            start=False) as queue:
+            with BatchQueue(lambda x: x + 1.0, max_batch=2, max_wait_ms=0.5) as queue:
+                queue.hold()
                 futures = [queue.submit(x=np.zeros(2)) for _ in range(2)]
-                queue.start()
+                queue.release()
                 for future in futures:
                     future.result()
         finally:

@@ -1,0 +1,468 @@
+"""Chaos suite for the fault-tolerant serving runtime.
+
+Covers ``repro.serve`` (request lifecycle: deadlines + honored
+cancellation, backpressure policies, supervised worker restart,
+retry/bisection fault isolation, circuit breaker with NumPy fallback) and
+``repro.faults`` (seeded deterministic fault plans, the kernel wrapper,
+the fixed-seed chaos campaign) plus the ``repro.obs`` span-sampling knob.
+Every test asserts it leaves no live worker thread behind (autouse
+fixture).  See ``docs/serving.md``.
+"""
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+import repro
+from repro.faults import FaultPlan, InjectedFault, batch_rows, inject, poison_marker
+from repro.faults.campaign import run_campaign
+from repro.obs import TRACER
+from repro.serve import (
+    BatchQueue,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    PendingQueue,
+    QueueFullError,
+    RequestCancelled,
+    ServingError,
+    numpy_fallback,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_worker_threads():
+    """Every test must close its queues: no live worker thread may remain."""
+    yield
+    deadline = time.monotonic() + 5.0
+    alive = []
+    while time.monotonic() < deadline:
+        alive = [
+            thread for thread in threading.enumerate()
+            if thread.name.startswith("repro-batch-queue") and thread.is_alive()
+        ]
+        if not alive:
+            break
+        time.sleep(0.01)
+    assert not alive, f"leaked worker threads: {alive}"
+
+
+def double(**kwargs):
+    """The trivial batched kernel most tests serve: x -> 2x."""
+    return np.asarray(kwargs["x"]) * 2.0
+
+
+def sample(value: float, width: int = 2) -> np.ndarray:
+    return np.full(width, float(value))
+
+
+# ------------------------------------------------------------- lifecycle
+class TestRequestLifecycle:
+    def test_submit_on_unstarted_queue_fails_fast(self):
+        queue = BatchQueue(double, max_wait_ms=1.0, start=False)
+        with pytest.raises(RuntimeError, match="not started"):
+            queue.submit(x=sample(1))
+        with pytest.raises(RuntimeError, match="not started"):
+            queue(x=sample(1))
+        queue.start()
+        try:
+            np.testing.assert_allclose(queue(x=sample(3)), sample(6))
+        finally:
+            queue.close()
+
+    def test_close_then_submit_raises(self):
+        queue = BatchQueue(double, max_wait_ms=1.0)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(x=sample(1))
+
+    def test_submit_then_close_still_resolves(self):
+        # The other direction of the submit-vs-close race: a request that
+        # made it into the queue is served (or typed-error-failed) by the
+        # closing drain — it can never be left pending forever.
+        queue = BatchQueue(double, max_wait_ms=50.0)
+        queue.hold()
+        future = queue.submit(x=sample(2))
+        queue.close()  # releases the hold and drains
+        try:
+            np.testing.assert_allclose(future.result(timeout=30), sample(4))
+        except RequestCancelled:
+            pass  # also acceptable: typed drain error, not a hang
+
+    def test_deadline_expires_while_queued(self):
+        with BatchQueue(double, max_wait_ms=1.0) as queue:
+            queue.hold()
+            doomed = queue.submit(timeout_ms=5.0, x=sample(1))
+            unbounded = queue.submit(x=sample(2))
+            time.sleep(0.05)
+            queue.release()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=30)
+            np.testing.assert_allclose(unbounded.result(timeout=30), sample(4))
+            assert queue.stats.expired == 1
+        assert isinstance(DeadlineExceeded("x"), ServingError)
+
+    def test_cancelled_future_is_dropped_and_does_not_wedge_the_worker(self):
+        # Regression: a cancelled future used to raise InvalidStateError out
+        # of the worker's set_result, permanently wedging the queue.
+        with BatchQueue(double, max_wait_ms=1.0) as queue:
+            queue.hold()
+            cancelled = queue.submit(x=sample(1))
+            assert cancelled.cancel()
+            survivor = queue.submit(x=sample(5))
+            queue.release()
+            np.testing.assert_allclose(survivor.result(timeout=30), sample(10))
+            with pytest.raises(CancelledError):
+                cancelled.result(timeout=1)
+            assert queue.stats.cancelled == 1
+            # The worker is alive and still serving after the cancellation.
+            np.testing.assert_allclose(queue(x=sample(7)), sample(14))
+
+    def test_cancel_during_the_wait_window(self):
+        with BatchQueue(double, max_batch=8, max_wait_ms=200.0) as queue:
+            first = queue.submit(x=sample(1))
+            first.cancel()
+            second = queue.submit(x=sample(2))
+            np.testing.assert_allclose(second.result(timeout=30), sample(4))
+        assert first.cancelled()
+
+
+# ----------------------------------------------------------- backpressure
+class TestBackpressure:
+    def test_reject_policy_raises_queue_full(self):
+        with BatchQueue(double, max_wait_ms=1.0, max_pending=2,
+                        policy="reject") as queue:
+            queue.hold()
+            futures = [queue.submit(x=sample(index)) for index in range(2)]
+            with pytest.raises(QueueFullError):
+                queue.submit(x=sample(9))
+            assert queue.stats.rejected == 1
+            queue.release()
+            for index, future in enumerate(futures):
+                np.testing.assert_allclose(
+                    future.result(timeout=30), sample(2 * index)
+                )
+
+    def test_shed_oldest_fails_the_oldest_with_a_typed_error(self):
+        with BatchQueue(double, max_wait_ms=1.0, max_pending=2,
+                        policy="shed_oldest") as queue:
+            queue.hold()
+            oldest = queue.submit(x=sample(0))
+            kept = [queue.submit(x=sample(index)) for index in (1, 2)]
+            queue.release()
+            with pytest.raises(RequestCancelled, match="shed"):
+                oldest.result(timeout=30)
+            for index, future in zip((1, 2), kept):
+                np.testing.assert_allclose(
+                    future.result(timeout=30), sample(2 * index)
+                )
+            assert queue.stats.shed == 1
+
+    def test_block_policy_blocks_submitters_until_space(self):
+        with BatchQueue(double, max_wait_ms=1.0, max_pending=1,
+                        policy="block") as queue:
+            queue.hold()
+            first = queue.submit(x=sample(1))
+            results = {}
+
+            def blocked_submit():
+                results["future"] = queue.submit(x=sample(2))
+
+            thread = threading.Thread(target=blocked_submit)
+            thread.start()
+            time.sleep(0.05)
+            assert thread.is_alive()  # still blocked on the full queue
+            queue.release()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            np.testing.assert_allclose(first.result(timeout=30), sample(2))
+            np.testing.assert_allclose(
+                results["future"].result(timeout=30), sample(4)
+            )
+
+    def test_pending_queue_validates_configuration(self):
+        with pytest.raises(ValueError, match="policy"):
+            PendingQueue(policy="bogus")
+        with pytest.raises(ValueError, match="capacity"):
+            PendingQueue(capacity=0)
+
+
+# -------------------------------------------------------- fault isolation
+class TestFaultIsolation:
+    def test_inconsistent_sample_arguments_fail_alone(self):
+        # Regression: one malformed sample used to fail its entire batch.
+        with BatchQueue(double, max_batch=4, max_wait_ms=50.0) as queue:
+            queue.hold()
+            good = [queue.submit(x=sample(index)) for index in (1, 2)]
+            bad = queue.submit(y=sample(9))
+            queue.release()
+            with pytest.raises(ValueError, match="Inconsistent sample arguments"):
+                bad.result(timeout=30)
+            for index, future in zip((1, 2), good):
+                np.testing.assert_allclose(
+                    future.result(timeout=30), sample(2 * index)
+                )
+            assert queue.stats.failed == 1
+
+    def test_transient_fault_is_retried_in_place(self):
+        plan = FaultPlan(fail_calls=(0,))  # only the first call fails
+        with BatchQueue(inject(double, plan), max_batch=4, max_wait_ms=50.0,
+                        max_retries=2, backoff_ms=0.5) as queue:
+            queue.hold()
+            futures = [queue.submit(x=sample(index)) for index in range(3)]
+            queue.release()
+            for index, future in enumerate(futures):
+                np.testing.assert_allclose(
+                    future.result(timeout=30), sample(2 * index)
+                )
+            assert queue.stats.retries == 1
+            assert queue.stats.bisections == 0
+
+    def test_poison_sample_is_bisected_out_and_fails_alone(self):
+        plan = FaultPlan(poison=poison_marker("x", 666.0))
+        with BatchQueue(inject(double, plan), max_batch=8, max_wait_ms=50.0,
+                        max_retries=1, backoff_ms=0.5) as queue:
+            queue.hold()
+            futures = {
+                index: queue.submit(x=sample(index)) for index in range(7)
+            }
+            poison = queue.submit(x=sample(666))
+            queue.release()
+            with pytest.raises(InjectedFault):
+                poison.result(timeout=30)
+            for index, future in futures.items():
+                np.testing.assert_allclose(
+                    future.result(timeout=30), sample(2 * index)
+                )
+            assert queue.stats.bisections >= 1
+            assert queue.stats.retries >= 1
+            assert queue.stats.failed == 1
+
+    def test_persistently_failing_single_request_gets_the_error(self):
+        plan = FaultPlan(outage=(0, None))
+        with BatchQueue(inject(double, plan), max_batch=2, max_wait_ms=1.0,
+                        max_retries=1, backoff_ms=0.5) as queue:
+            future = queue.submit(x=sample(1))
+            with pytest.raises(InjectedFault):
+                future.result(timeout=30)
+            assert queue.stats.failed == 1
+
+
+# ------------------------------------------------------------ supervision
+class TestSupervision:
+    def test_worker_restarts_after_a_supervisor_level_crash(self):
+        queue = BatchQueue(double, max_wait_ms=1.0)
+        original_dispatch = queue._dispatch
+        crashed = threading.Event()
+
+        def crash_once(batch):
+            if not crashed.is_set():
+                crashed.set()
+                raise RuntimeError("injected supervisor-level crash")
+            return original_dispatch(batch)
+
+        queue._dispatch = crash_once
+        with queue:
+            doomed = queue.submit(x=sample(1))
+            with pytest.raises(RuntimeError, match="supervisor-level crash"):
+                doomed.result(timeout=30)
+            # The supervisor restarted the loop: the queue still serves.
+            np.testing.assert_allclose(queue(x=sample(4)), sample(8))
+            assert queue.stats.worker_restarts == 1
+
+
+# -------------------------------------------------------- circuit breaker
+class TestCircuitBreaker:
+    def test_trips_to_fallback_and_recovers_via_probe(self):
+        plan = FaultPlan(outage=(0, 3))  # primary calls 0..2 fail
+        primary = inject(double, plan)
+
+        def fallback(**kwargs):
+            return np.asarray(kwargs["x"]) * 2.0
+
+        breaker = CircuitBreaker(primary, fallback, failure_threshold=2,
+                                 reset_timeout_ms=10.0)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                breaker(x=sample(1))
+        assert breaker.state == "open"
+        # Within the cooldown: served by the fallback, state unchanged.
+        np.testing.assert_allclose(breaker(x=sample(3)), sample(6))
+        assert breaker.state == "open"
+        # After the cooldown the probe runs the primary (call 2: still in
+        # the outage) and re-opens; the next cooldown's probe (call 3)
+        # succeeds and closes the breaker.
+        time.sleep(0.02)
+        with pytest.raises(InjectedFault):
+            breaker(x=sample(1))
+        assert breaker.state == "open"
+        time.sleep(0.02)
+        np.testing.assert_allclose(breaker(x=sample(5)), sample(10))
+        assert breaker.state == "closed"
+        np.testing.assert_allclose(breaker(x=sample(6)), sample(12))
+
+    def test_open_breaker_without_fallback_raises_typed_error(self):
+        plan = FaultPlan(outage=(0, None))
+        breaker = CircuitBreaker(inject(double, plan), failure_threshold=1,
+                                 reset_timeout_ms=60_000.0)
+        with pytest.raises(InjectedFault):
+            breaker(x=sample(1))
+        with pytest.raises(CircuitOpenError):
+            breaker(x=sample(1))
+
+    def test_transitions_record_spans(self):
+        was_enabled = TRACER.enabled
+        TRACER.enable()
+        try:
+            before = len(TRACER.spans())
+            plan = FaultPlan(outage=(0, None))
+            breaker = CircuitBreaker(
+                inject(double, plan), fallback=double, failure_threshold=1,
+                reset_timeout_ms=60_000.0, name="spans-test",
+            )
+            with pytest.raises(InjectedFault):
+                breaker(x=sample(1))
+            transitions = [
+                record for record in TRACER.spans()[before:]
+                if record.name == "serve.breaker.transition"
+                and record.attrs.get("breaker") == "spans-test"
+            ]
+            assert [t.attrs["to_state"] for t in transitions] == ["open"]
+            assert transitions[0].attrs["from_state"] == "closed"
+        finally:
+            if not was_enabled:
+                TRACER.disable()
+
+    def test_breaker_inside_queue_serves_during_outage(self):
+        plan = FaultPlan(outage=(0, None))  # primary never recovers
+        breaker = CircuitBreaker(inject(double, plan), fallback=double,
+                                 failure_threshold=1, reset_timeout_ms=60_000.0)
+        with BatchQueue(breaker, max_batch=4, max_wait_ms=1.0,
+                        max_retries=1, backoff_ms=0.5) as queue:
+            for value in (1, 2, 3):
+                np.testing.assert_allclose(
+                    queue(x=sample(value)), sample(2 * value)
+                )
+        assert breaker.state == "open"
+
+    def test_numpy_fallback_compiles_through_the_backend_path(self):
+        N = repro.symbol("N")
+
+        @repro.program
+        def squared_sum(x: repro.float64[N]):
+            y = x * x
+            return np.sum(y)
+
+        batched_program = repro.vmap(squared_sum, in_axes=0)
+        fallback = numpy_fallback(batched_program, optimize="O1")
+        stacked = np.arange(8.0).reshape(2, 4)
+        want = batched_program.compile(optimize="O1", backend="numpy")(x=stacked)
+        np.testing.assert_allclose(fallback(x=stacked), want, rtol=1e-12)
+
+
+# ------------------------------------------------------------ fault plans
+class TestFaultPlan:
+    def _decisions(self, plan, calls=40):
+        outcomes = []
+        for index in range(calls):
+            try:
+                plan.on_call({"x": np.full((2, 3), float(index))})
+                outcomes.append("ok")
+            except InjectedFault as exc:
+                outcomes.append(exc.kind)
+        return outcomes
+
+    def test_same_seed_same_schedule(self):
+        make = lambda: FaultPlan(seed=123, transient_rate=0.2, fail_calls=(5,))
+        first, second = self._decisions(make()), self._decisions(make())
+        assert first == second
+        assert first[5] == "transient"
+        assert "transient" in first
+
+    def test_reset_rewinds_the_schedule(self):
+        plan = FaultPlan(seed=9, transient_rate=0.3)
+        first = self._decisions(plan)
+        plan.reset()
+        assert self._decisions(plan) == first
+
+    def test_latency_spike_sleeps(self):
+        plan = FaultPlan(latency_rate=1.0, latency_ms=20.0)
+        start = time.monotonic()
+        plan.on_call({"x": np.zeros(2)})
+        assert time.monotonic() - start >= 0.015
+        assert plan.injected["latency"] == 1
+
+    def test_batch_rows_slices_only_the_batch_dimension(self):
+        rows = list(batch_rows({
+            "x": np.arange(6.0).reshape(3, 2),   # batched: leading dim 3
+            "bias": np.arange(5.0),              # broadcast: leading dim 5
+            "scale": 2.0,                        # scalar
+        }))
+        assert len(rows) == 3
+        np.testing.assert_allclose(rows[1]["x"], [2.0, 3.0])
+        np.testing.assert_allclose(rows[1]["bias"], np.arange(5.0))
+        assert rows[2]["scale"] == 2.0
+
+    def test_poison_marker_matches_first_element(self):
+        predicate = poison_marker("x", 666.0)
+        assert predicate({"x": np.array([666.0, 1.0])})
+        assert not predicate({"x": np.array([1.0, 666.0])})
+
+
+# ----------------------------------------------------------- obs sampling
+class TestSpanSampling:
+    def test_sampling_keeps_roughly_the_requested_fraction(self):
+        was_enabled = TRACER.enabled
+        TRACER.enable()
+        try:
+            TRACER.set_sampling(0.2, seed=7)
+            before = len(TRACER.spans())
+            for _ in range(500):
+                with TRACER.span("sampling-test"):
+                    pass
+            kept = sum(
+                1 for record in TRACER.spans()[before:]
+                if record.name == "sampling-test"
+            )
+            assert 50 <= kept <= 150  # ~100 expected at rate 0.2
+        finally:
+            TRACER.set_sampling(1.0)
+            if not was_enabled:
+                TRACER.disable()
+
+    def test_rate_one_keeps_everything(self):
+        was_enabled = TRACER.enabled
+        TRACER.enable()
+        try:
+            TRACER.set_sampling(1.0)
+            before = len(TRACER.spans())
+            for _ in range(10):
+                with TRACER.span("sampling-all"):
+                    pass
+            kept = sum(
+                1 for record in TRACER.spans()[before:]
+                if record.name == "sampling-all"
+            )
+            assert kept == 10
+        finally:
+            if not was_enabled:
+                TRACER.disable()
+
+
+# -------------------------------------------------------- chaos campaign
+class TestChaosCampaign:
+    def test_fixed_seed_campaign_invariants_hold(self):
+        report = run_campaign(seed=7, requests=48, enable_tracing=True)
+        failing = {
+            name: result for name, result in report["scenarios"].items()
+            if not result["ok"]
+        }
+        assert report["ok"], f"chaos invariant violated: {failing}"
+        assert not report["leaked_worker_threads"]
+        counters = report["metrics"]["counters"]
+        for name in ("serve.retries_total", "serve.shed_total",
+                     "serve.breaker_open_total"):
+            assert counters.get(name, 0) > 0
